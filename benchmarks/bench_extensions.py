@@ -1,0 +1,114 @@
+"""Benchmarks for the query-model extensions (beyond the paper's
+figures): region-constrained, streaming, collective and direction-aware
+search, all against the same Twitter5M-scaled build.
+
+These have no paper counterpart; they document the cost of the
+extension surface so regressions are visible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.bench.reporting import collect
+from repro.extensions.collective import CollectiveSearcher
+from repro.extensions.direction import DirectionAwareSearcher
+from repro.model.query import Semantics
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import Rect
+
+DATASET = "Twitter5M"
+
+
+@pytest.fixture(scope="module")
+def setting(built_factory, querylog_factory, profile):
+    built = built_factory("I3", DATASET)
+    queries = querylog_factory(DATASET).freq(
+        2, count=profile.queries_per_set, semantics=Semantics.OR
+    )
+    ranker = Ranker(built.corpus.space, 0.5)
+    return built, list(queries), ranker
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_range_query(benchmark, setting):
+    built, queries, _ = setting
+    regions = [
+        Rect(
+            max(q.x - 0.1, 0.0),
+            max(q.y - 0.1, 0.0),
+            min(q.x + 0.1, 1.0),
+            min(q.y + 0.1, 1.0),
+        )
+        for q in queries
+    ]
+
+    def run():
+        total = 0
+        for query, region in zip(queries, regions):
+            total += len(built.index.range_query(region, query.words))
+        return total
+
+    hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    collect(
+        f"Extension bench: range_query returned {hits} hits over "
+        f"{len(queries)} windowed FREQ_2 queries on {DATASET}"
+    )
+    assert hits >= 0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_streaming_prefix(benchmark, setting):
+    """Consuming 10 streamed results should cost like a top-10 query."""
+    import itertools
+
+    built, queries, ranker = setting
+
+    def run():
+        out = 0
+        for query in queries:
+            out += len(list(itertools.islice(built.index.iter_query(query, ranker), 10)))
+        return out
+
+    emitted = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert emitted <= 10 * len(queries)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_direction_sector(benchmark, setting):
+    built, queries, ranker = setting
+    searcher = DirectionAwareSearcher(built.index)
+    rng = random.Random(42)
+    headings = [rng.uniform(-math.pi, math.pi) for _ in queries]
+
+    def run():
+        total = 0
+        for query, heading in zip(queries, headings):
+            total += len(searcher.search(query, heading, math.pi / 3, ranker))
+        return total
+
+    hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert hits >= 0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_collective(benchmark, setting, corpus_factory):
+    built, queries, _ = setting
+    corpus = corpus_factory(DATASET)
+    store = {d.doc_id: d for d in corpus.documents}
+    searcher = CollectiveSearcher(
+        built.index, corpus.space, locate=lambda d: (store[d].x, store[d].y)
+    )
+
+    def run():
+        covered = 0
+        for query in queries:
+            group = searcher.search_diameter(query.x, query.y, query.words, pool_size=4)
+            covered += group is not None
+        return covered
+
+    solved = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert solved == len(queries)  # FREQ keywords always have carriers

@@ -1,0 +1,96 @@
+"""Figure 10: query time vs k (10..200), eight panels.
+
+Panels: {AND, OR} x {Twitter5M, Wikipedia} x {REST, FREQ_3}.  Paper
+shapes: IR-tree degrades with k (pruning weakens, and each examined
+node drags its inverted file along); S2I is stable on Twitter but
+k-sensitive on Wikipedia; I3 is scalable to k everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.model.query import Semantics
+from repro.model.scoring import Ranker
+
+from _shared import KINDS, measure
+
+K_VALUES = (10, 50, 100, 150, 200)
+PANELS = [
+    ("AND", Semantics.AND, "Twitter5M", "REST"),
+    ("AND", Semantics.AND, "Wikipedia", "REST"),
+    ("OR", Semantics.OR, "Twitter5M", "REST"),
+    ("OR", Semantics.OR, "Wikipedia", "REST"),
+    ("AND", Semantics.AND, "Twitter5M", "FREQ"),
+    ("AND", Semantics.AND, "Wikipedia", "FREQ"),
+    ("OR", Semantics.OR, "Twitter5M", "FREQ"),
+    ("OR", Semantics.OR, "Wikipedia", "FREQ"),
+]
+
+_metrics: Dict[Tuple[str, str, str, str, int], object] = {}
+
+
+def _workload(querylog_factory, profile, dataset, workload, semantics, k):
+    qg = querylog_factory(dataset)
+    if workload == "REST":
+        return qg.rest(count=profile.queries_per_set, semantics=semantics, k=k)
+    return qg.freq(3, count=profile.queries_per_set, semantics=semantics, k=k)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("sem_name,semantics,dataset,workload", PANELS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig10-topk")
+def test_fig10_query_time(
+    benchmark,
+    built_factory,
+    querylog_factory,
+    profile,
+    kind,
+    sem_name,
+    semantics,
+    dataset,
+    workload,
+    k,
+):
+    built = built_factory(kind, dataset)
+    queries = _workload(querylog_factory, profile, dataset, workload, semantics, k)
+    ranker = Ranker(built.corpus.space, 0.5)
+    metrics = benchmark.pedantic(
+        lambda: measure(built, queries, ranker), rounds=1, iterations=1
+    )
+    _metrics[(kind, sem_name, dataset, workload, k)] = metrics
+
+
+@pytest.mark.benchmark(group="fig10-topk")
+def test_fig10_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for sem_name, _, dataset, workload in PANELS:
+        table = Table(
+            f"Figure 10 panel: {sem_name} / {dataset} / {workload} — "
+            "mean query time (ms) vs k",
+            ["k", *KINDS],
+        )
+        for k in K_VALUES:
+            table.add_row(
+                k,
+                *[
+                    _metrics[(kind, sem_name, dataset, workload, k)].mean_ms
+                    if (kind, sem_name, dataset, workload, k) in _metrics
+                    else float("nan")
+                    for kind in KINDS
+                ],
+            )
+        collect(table.render())
+    # Shape assertion on deterministic I/O: I3's growth from k=10 to
+    # k=200 stays below IR-tree's on the Twitter OR panel.
+    def io(kind, k):
+        return _metrics[(kind, "OR", "Twitter5M", "FREQ", k)].mean_io
+
+    if all((k, "OR", "Twitter5M", "FREQ", kv) in _metrics for k in KINDS for kv in (10, 200)):
+        i3_growth = io("I3", 200) / max(io("I3", 10), 1.0)
+        ir_growth = io("IR-tree", 200) / max(io("IR-tree", 10), 1.0)
+        assert i3_growth <= ir_growth * 1.5

@@ -1,0 +1,90 @@
+"""Figure 11: query time vs alpha (spatial weight), four panels.
+
+Paper shapes: on Twitter, performance is insensitive to alpha (tweet
+term weights barely vary, so ranking is distance-driven regardless);
+on Wikipedia, S2I is the most alpha-sensitive — small alpha disables
+its spatial pruning and most tree nodes get visited, large alpha makes
+it excellent; IR-tree and I3 improve more gently with alpha.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.model.query import Semantics
+from repro.model.scoring import Ranker
+
+from _shared import KINDS, measure
+
+ALPHA_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+PANELS = [
+    ("OR", Semantics.OR, "Twitter5M", "REST"),
+    ("OR", Semantics.OR, "Wikipedia", "REST"),
+    ("OR", Semantics.OR, "Twitter5M", "FREQ"),
+    ("OR", Semantics.OR, "Wikipedia", "FREQ"),
+]
+
+_metrics: Dict[Tuple[str, str, str, float], object] = {}
+
+
+def _workload(querylog_factory, profile, dataset, workload, semantics):
+    qg = querylog_factory(dataset)
+    if workload == "REST":
+        return qg.rest(count=profile.queries_per_set, semantics=semantics)
+    return qg.freq(3, count=profile.queries_per_set, semantics=semantics)
+
+
+@pytest.mark.parametrize("alpha", ALPHA_VALUES)
+@pytest.mark.parametrize("sem_name,semantics,dataset,workload", PANELS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig11-alpha")
+def test_fig11_query_time(
+    benchmark,
+    built_factory,
+    querylog_factory,
+    profile,
+    kind,
+    sem_name,
+    semantics,
+    dataset,
+    workload,
+    alpha,
+):
+    built = built_factory(kind, dataset)
+    queries = _workload(querylog_factory, profile, dataset, workload, semantics)
+    ranker = Ranker(built.corpus.space, alpha)
+    metrics = benchmark.pedantic(
+        lambda: measure(built, queries, ranker), rounds=1, iterations=1
+    )
+    _metrics[(kind, dataset, workload, alpha)] = metrics
+
+
+@pytest.mark.benchmark(group="fig11-alpha")
+def test_fig11_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for sem_name, _, dataset, workload in PANELS:
+        table = Table(
+            f"Figure 11 panel: {sem_name} / {dataset} / {workload} — "
+            "mean query time (ms) vs alpha",
+            ["alpha", *KINDS],
+        )
+        for alpha in ALPHA_VALUES:
+            table.add_row(
+                alpha,
+                *[
+                    _metrics[(kind, dataset, workload, alpha)].mean_ms
+                    if (kind, dataset, workload, alpha) in _metrics
+                    else float("nan")
+                    for kind in KINDS
+                ],
+            )
+        collect(table.render())
+    # Shape assertion: on Wikipedia, S2I's I/O at alpha = 0.9 is much
+    # lower than at alpha = 0.1 (spatial pruning switching on).
+    lo = _metrics.get(("S2I", "Wikipedia", "FREQ", 0.1))
+    hi = _metrics.get(("S2I", "Wikipedia", "FREQ", 0.9))
+    if lo is not None and hi is not None:
+        assert hi.mean_io < lo.mean_io

@@ -1,0 +1,90 @@
+"""Figure 12: query time vs Twitter cardinality (1M..15M, scaled).
+
+Paper shapes: I3 and S2I scale gracefully with dataset size; IR-tree's
+query time grows much faster (more nodes to examine, each carrying an
+inverted file).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.model.query import Semantics
+from repro.model.scoring import Ranker
+
+from _shared import KINDS, measure
+
+DATASETS = ("Twitter1M", "Twitter5M", "Twitter10M", "Twitter15M")
+PANELS = [
+    ("AND", Semantics.AND, "REST"),
+    ("AND", Semantics.AND, "FREQ"),
+    ("OR", Semantics.OR, "REST"),
+    ("OR", Semantics.OR, "FREQ"),
+]
+
+_metrics: Dict[Tuple[str, str, str, str], object] = {}
+
+
+def _workload(querylog_factory, profile, dataset, workload, semantics):
+    qg = querylog_factory(dataset)
+    if workload == "REST":
+        return qg.rest(count=profile.queries_per_set, semantics=semantics)
+    return qg.freq(3, count=profile.queries_per_set, semantics=semantics)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("sem_name,semantics,workload", PANELS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig12-scalability")
+def test_fig12_query_time(
+    benchmark,
+    built_factory,
+    querylog_factory,
+    profile,
+    kind,
+    sem_name,
+    semantics,
+    workload,
+    dataset,
+):
+    built = built_factory(kind, dataset)
+    queries = _workload(querylog_factory, profile, dataset, workload, semantics)
+    ranker = Ranker(built.corpus.space, 0.5)
+    metrics = benchmark.pedantic(
+        lambda: measure(built, queries, ranker), rounds=1, iterations=1
+    )
+    _metrics[(kind, sem_name, workload, dataset)] = metrics
+
+
+@pytest.mark.benchmark(group="fig12-scalability")
+def test_fig12_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for sem_name, _, workload in PANELS:
+        table = Table(
+            f"Figure 12 panel: {sem_name} / {workload} — "
+            "mean query time (ms) vs Twitter cardinality",
+            ["dataset", *KINDS],
+        )
+        for dataset in DATASETS:
+            table.add_row(
+                dataset,
+                *[
+                    _metrics[(kind, sem_name, workload, dataset)].mean_ms
+                    if (kind, sem_name, workload, dataset) in _metrics
+                    else float("nan")
+                    for kind in KINDS
+                ],
+            )
+        collect(table.render())
+    # Shape assertion on I/O: at every cardinality, I3 answers the FREQ
+    # OR workload with the least I/O of the three indexes (the paper's
+    # scalability headline).
+    for dataset in DATASETS:
+        keys = [(k, "OR", "FREQ", dataset) for k in KINDS]
+        if all(key in _metrics for key in keys):
+            i3 = _metrics[("I3", "OR", "FREQ", dataset)].mean_io
+            assert i3 <= _metrics[("S2I", "OR", "FREQ", dataset)].mean_io
+            assert i3 <= _metrics[("IR-tree", "OR", "FREQ", dataset)].mean_io

@@ -1,0 +1,79 @@
+"""Figure 5: tuning the signature length eta on Twitter1M.
+
+The paper sweeps eta, running an AOL-style mixed query set under both
+semantics, and plots query time (lines) against head-file size (bars):
+longer signatures prune better — especially for AND semantics — but
+cost head-file space.  The paper settles on eta = 300.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.harness import build_index
+from repro.bench.reporting import Table, collect, format_bytes
+from repro.model.query import Semantics
+from repro.model.scoring import Ranker
+
+from _shared import measure
+
+ETA_VALUES = (100, 200, 300, 400, 500)
+DATASET = "Twitter1M"
+
+_rows: Dict[int, Tuple[float, float, int]] = {}
+
+
+@pytest.mark.parametrize("eta", ETA_VALUES)
+@pytest.mark.benchmark(group="fig5-eta")
+def test_fig5_eta(benchmark, corpus_factory, querylog_factory, profile, eta):
+    corpus = corpus_factory(DATASET)
+    built = build_index("I3", corpus, eta=eta)
+    qg = querylog_factory(DATASET)
+    ranker = Ranker(corpus.space, 0.5)
+    and_queries = qg.mixed(count=profile.queries_per_set, semantics=Semantics.AND)
+    or_queries = qg.mixed(count=profile.queries_per_set, semantics=Semantics.OR)
+
+    def run():
+        return (
+            measure(built, and_queries, ranker),
+            measure(built, or_queries, ranker),
+        )
+
+    and_metrics, or_metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows[eta] = (
+        and_metrics.mean_ms,
+        or_metrics.mean_ms,
+        built.index.head.raw_bytes,
+    )
+    # The returned results must not depend on eta (signatures only prune).
+    reference = build_index("I3", corpus, eta=7)
+    sample = list(and_queries)[:3] + list(or_queries)[:3]
+    for query in sample:
+        assert [
+            (r.doc_id, round(r.score, 9)) for r in built.index.query(query, ranker)
+        ] == [
+            (r.doc_id, round(r.score, 9))
+            for r in reference.index.query(query, ranker)
+        ]
+
+
+@pytest.mark.benchmark(group="fig5-eta")
+def test_fig5_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        f"Figure 5: signature length tuning on {DATASET} "
+        "(mixed AOL-style queries)",
+        ["eta", "AND ms", "OR ms", "head file (raw bytes)"],
+    )
+    for eta in ETA_VALUES:
+        if eta in _rows:
+            and_ms, or_ms, head = _rows[eta]
+            table.add_row(eta, and_ms, or_ms, format_bytes(head))
+    collect(table.render())
+    # Shape: the head file grows strictly with eta (Figure 5's bars).
+    sizes = [_rows[e][2] for e in ETA_VALUES if e in _rows]
+    assert sizes == sorted(sizes)
+    if len(sizes) >= 2:
+        assert sizes[-1] > sizes[0]

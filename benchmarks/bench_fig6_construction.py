@@ -1,0 +1,87 @@
+"""Figure 6: index construction time (and build I/O) for all datasets.
+
+The paper's shape: I3 builds fastest on every Twitter scale; IR-tree's
+build cost grows dramatically with Twitter cardinality (every split
+re-organises a node's textual payload) but looks acceptable on the small
+Wikipedia set.  Wall-clock at simulation scale is noisy, so the report
+also shows build I/O — the hardware-independent cost the simulation
+controls exactly.
+
+Each build here is fresh (the session cache is bypassed) so the
+pytest-benchmark timings are honest construction times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.harness import build_index
+from repro.bench.reporting import Table, collect
+
+from _shared import KINDS
+
+DATASETS = ["Twitter1M", "Twitter5M", "Twitter10M", "Twitter15M", "Wikipedia"]
+
+_results: Dict[Tuple[str, str], Tuple[float, int, int]] = {}
+
+
+@pytest.mark.parametrize("label", DATASETS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig6-construction")
+def test_fig6_build(benchmark, corpus_factory, kind, label):
+    """Construct each index on each dataset, timed, one round."""
+    corpus = corpus_factory(label)
+    built = benchmark.pedantic(
+        lambda: build_index(kind, corpus), rounds=1, iterations=1
+    )
+    _results[(kind, label)] = (
+        built.build_seconds,
+        built.build_io.total,
+        built.build_flushed_io,
+    )
+    assert built.index.num_documents == len(corpus)
+
+
+@pytest.mark.benchmark(group="fig6-construction")
+def test_fig6_report(benchmark):
+    """Emit the Figure 6 tables and check the paper's growth shape."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    time_table = Table(
+        "Figure 6: index construction time (seconds, wall; scaled datasets)",
+        ["dataset", *KINDS],
+    )
+    io_table = Table(
+        "Figure 6 (companion): flushed construction I/O — distinct pages "
+        "touched, buffer-then-flush model (raw totals in parentheses)",
+        ["dataset", *KINDS],
+    )
+    for label in DATASETS:
+        if any((k, label) not in _results for k in KINDS):
+            continue
+        time_table.add_row(label, *[_results[(k, label)][0] for k in KINDS])
+        io_table.add_row(
+            label,
+            *[
+                f"{_results[(k, label)][2]:,} ({_results[(k, label)][1]:,})"
+                for k in KINDS
+            ],
+        )
+    collect(time_table.render())
+    collect(io_table.render())
+    # Shape assertion (paper): at the largest Twitter scale, IR-tree's
+    # construction I/O exceeds I3's (its per-node inverted files are
+    # updated keyword-by-keyword along every insertion path and fully
+    # re-organised on splits).
+    if ("I3", "Twitter15M") in _results and ("IR-tree", "Twitter15M") in _results:
+        assert _results[("IR-tree", "Twitter15M")][1] > _results[("I3", "Twitter15M")][1]
+    # And under the buffered model I3's build touches far fewer pages
+    # than S2I's, whose working set scatters over per-keyword blocks and
+    # tree files (Figure 6's "I3 takes the least time" vs S2I).  IR-tree
+    # is excluded from the buffered comparison at this scale: its
+    # vocabulary-duplication blowup needs deeper trees (EXPERIMENTS.md).
+    if all((k, "Twitter15M") in _results for k in ("I3", "S2I")):
+        assert (
+            _results[("I3", "Twitter15M")][2] <= _results[("S2I", "Twitter15M")][2]
+        )

@@ -1,0 +1,76 @@
+"""Figure 7: query time vs number of query keywords (FREQ, AND/OR,
+Twitter5M and Wikipedia).
+
+Paper shapes: I3 fastest throughout; under AND semantics I3's time
+*drops* as qn grows (signature intersections prune more); S2I degrades
+with qn (cross-tree aggregation); IR-tree is worst on Twitter5M.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.model.query import Semantics
+from repro.model.scoring import Ranker
+
+from _shared import KINDS, measure
+
+QN_VALUES = (2, 3, 4, 5)
+PANELS = [
+    ("AND", Semantics.AND, "Twitter5M"),
+    ("OR", Semantics.OR, "Twitter5M"),
+    ("AND", Semantics.AND, "Wikipedia"),
+    ("OR", Semantics.OR, "Wikipedia"),
+]
+
+_metrics: Dict[Tuple[str, str, str, int], object] = {}
+
+
+@pytest.mark.parametrize("qn", QN_VALUES)
+@pytest.mark.parametrize("sem_name,semantics,dataset", PANELS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig7-qn")
+def test_fig7_query_time(
+    benchmark, built_factory, querylog_factory, profile, kind, sem_name, semantics, dataset, qn
+):
+    built = built_factory(kind, dataset)
+    queries = querylog_factory(dataset).freq(
+        qn, count=profile.queries_per_set, semantics=semantics
+    )
+    ranker = Ranker(built.corpus.space, 0.5)
+    metrics = benchmark.pedantic(
+        lambda: measure(built, queries, ranker), rounds=1, iterations=1
+    )
+    _metrics[(kind, sem_name, dataset, qn)] = metrics
+
+
+@pytest.mark.benchmark(group="fig7-qn")
+def test_fig7_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for sem_name, _, dataset in PANELS:
+        table = Table(
+            f"Figure 7 panel: {sem_name} in {dataset} — mean query time (ms) vs qn",
+            ["qn", *KINDS],
+        )
+        for qn in QN_VALUES:
+            row = [
+                _metrics[(k, sem_name, dataset, qn)].mean_ms
+                if (k, sem_name, dataset, qn) in _metrics
+                else float("nan")
+                for k in KINDS
+            ]
+            table.add_row(qn, *row)
+        collect(table.render())
+    # Shape assertions on the I/O metric (deterministic, unlike wall
+    # time at this scale): I3 does the least I/O at high qn on Twitter.
+    key = lambda k, s, qn: _metrics[(k, s, "Twitter5M", qn)].mean_io
+    if all((k, "OR", "Twitter5M", 5) in _metrics for k in KINDS):
+        assert key("I3", "OR", 5) <= key("S2I", "OR", 5)
+        assert key("I3", "OR", 5) <= key("IR-tree", "OR", 5)
+    # AND semantics: I3's cost must not explode with qn (the paper shows
+    # it *decreasing*); allow flat-to-decreasing within 2x noise.
+    if all((("I3", "AND", "Twitter5M", qn) in _metrics) for qn in (2, 5)):
+        assert key("I3", "AND", 5) <= 2.0 * key("I3", "AND", 2)

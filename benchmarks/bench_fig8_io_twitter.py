@@ -1,0 +1,67 @@
+"""Figure 8: I/O cost vs qn, OR semantics, Twitter5M — split by component.
+
+The paper stacks, per index, the two I/O sources: I3 = head file +
+data file; S2I = tree-node accesses (all FREQ keywords are frequent);
+IR-tree = tree nodes + the per-node inverted files, with the inverted
+file share "incredibly expensive".  The report reproduces that split.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.model.query import Semantics
+from repro.model.scoring import Ranker
+
+from _shared import KINDS, fmt_io, io_split, measure
+
+QN_VALUES = (2, 3, 4, 5)
+DATASET = "Twitter5M"
+
+_metrics: Dict[Tuple[str, int], object] = {}
+
+
+@pytest.mark.parametrize("qn", QN_VALUES)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig8-io-twitter")
+def test_fig8_io(benchmark, built_factory, querylog_factory, profile, kind, qn):
+    built = built_factory(kind, DATASET)
+    queries = querylog_factory(DATASET).freq(
+        qn, count=profile.queries_per_set, semantics=Semantics.OR
+    )
+    ranker = Ranker(built.corpus.space, 0.5)
+    metrics = benchmark.pedantic(
+        lambda: measure(built, queries, ranker), rounds=1, iterations=1
+    )
+    _metrics[(kind, qn)] = metrics
+
+
+@pytest.mark.benchmark(group="fig8-io-twitter")
+def test_fig8_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        f"Figure 8: OR-semantics I/O per query vs qn in {DATASET} "
+        "(component split in parentheses)",
+        ["qn", *KINDS],
+    )
+    for qn in QN_VALUES:
+        table.add_row(
+            qn,
+            *[
+                fmt_io(_metrics[(k, qn)], k) if (k, qn) in _metrics else "-"
+                for k in KINDS
+            ],
+        )
+    collect(table.render())
+    # Paper shapes: I3's total I/O lowest at every qn; IR-tree's
+    # inverted-file I/O exceeds its node I/O.
+    for qn in QN_VALUES:
+        if all((k, qn) in _metrics for k in KINDS):
+            i3 = _metrics[("I3", qn)].mean_io
+            assert i3 <= _metrics[("S2I", qn)].mean_io
+            assert i3 <= _metrics[("IR-tree", qn)].mean_io
+            ir = io_split(_metrics[("IR-tree", qn)], "IR-tree")
+            assert ir["inv"] > 0 and ir["node"] > 0

@@ -1,0 +1,61 @@
+"""Figure 9: I/O cost vs qn, OR semantics, Wikipedia — split by component.
+
+Same measurement as Figure 8 on the textually abundant corpus, where
+every node's pseudo-document is large and IR-tree's inverted-file I/O
+dominates even at small tree sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.model.query import Semantics
+from repro.model.scoring import Ranker
+
+from _shared import KINDS, fmt_io, measure
+
+QN_VALUES = (2, 3, 4, 5)
+DATASET = "Wikipedia"
+
+_metrics: Dict[Tuple[str, int], object] = {}
+
+
+@pytest.mark.parametrize("qn", QN_VALUES)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig9-io-wikipedia")
+def test_fig9_io(benchmark, built_factory, querylog_factory, profile, kind, qn):
+    built = built_factory(kind, DATASET)
+    queries = querylog_factory(DATASET).freq(
+        qn, count=profile.queries_per_set, semantics=Semantics.OR
+    )
+    ranker = Ranker(built.corpus.space, 0.5)
+    metrics = benchmark.pedantic(
+        lambda: measure(built, queries, ranker), rounds=1, iterations=1
+    )
+    _metrics[(kind, qn)] = metrics
+
+
+@pytest.mark.benchmark(group="fig9-io-wikipedia")
+def test_fig9_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        f"Figure 9: OR-semantics I/O per query vs qn in {DATASET} "
+        "(component split in parentheses)",
+        ["qn", *KINDS],
+    )
+    for qn in QN_VALUES:
+        table.add_row(
+            qn,
+            *[
+                fmt_io(_metrics[(k, qn)], k) if (k, qn) in _metrics else "-"
+                for k in KINDS
+            ],
+        )
+    collect(table.render())
+    # Paper shape: I3's I/O stays lowest and grows gently with qn.
+    for qn in QN_VALUES:
+        if all((k, qn) in _metrics for k in KINDS):
+            assert _metrics[("I3", qn)].mean_io <= _metrics[("S2I", qn)].mean_io

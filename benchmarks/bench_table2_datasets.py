@@ -1,0 +1,78 @@
+"""Table 2 (dataset statistics), Table 3 (REST sample), Table 4 (grid).
+
+The benchmark measures corpus generation; the session report prints the
+statistics rows the paper's Table 2 lists, a REST query sample like
+Table 3, and the parameter grid of Table 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import PAPER_DEFAULTS
+from repro.bench.reporting import Table, collect
+from repro.datasets.generators import TwitterLikeGenerator
+from repro.datasets.stats import corpus_stats
+
+DATASETS = ["Twitter1M", "Twitter5M", "Twitter10M", "Twitter15M", "Wikipedia"]
+
+
+@pytest.mark.benchmark(group="table2-generation")
+def test_table2_dataset_statistics(benchmark, corpus_factory, profile):
+    """Generate one corpus under timing; report Table 2 for all five."""
+    benchmark(
+        lambda: TwitterLikeGenerator(
+            profile.twitter_sizes["Twitter1M"], seed=profile.seed + 1
+        ).generate()
+    )
+    table = Table(
+        "Table 2: dataset description (scaled 1:%d of the paper)"
+        % (1_000_000 // profile.twitter_sizes["Twitter1M"]),
+        ["dataset", "#documents", "#unique keywords", "avg keywords/doc"],
+    )
+    for label in DATASETS:
+        stats = corpus_stats(corpus_factory(label))
+        table.add_row(
+            label,
+            stats.num_documents,
+            stats.num_unique_keywords,
+            stats.avg_keywords_per_doc,
+        )
+    collect(table.render())
+
+
+@pytest.mark.benchmark(group="table2-generation")
+def test_table3_rest_query_sample(benchmark, querylog_factory):
+    """Generate the REST workload under timing; report a Table 3 sample."""
+    qg = querylog_factory("Twitter5M")
+    rest = benchmark(lambda: qg.rest(count=20))
+    table = Table(
+        "Table 3: REST query sample (head keyword + co-occurring companions)",
+        ["#", "query keywords"],
+    )
+    for i, query in enumerate(list(rest)[:10], start=1):
+        table.add_row(i, " ".join(query.words))
+    collect(table.render())
+
+
+@pytest.mark.benchmark(group="table2-generation")
+def test_table4_parameter_grid(benchmark):
+    """Report Table 4's parameter grid (defaults in brackets)."""
+    table = Table("Table 4: parameter setting (defaults bracketed)", ["parameter", "values"])
+    d = PAPER_DEFAULTS
+
+    def fmt(values, default):
+        return ", ".join(
+            f"[{v}]" if v == default else f"{v}" for v in values
+        )
+
+    table.add_row("query keywords qn", fmt(d.qn_values, d.qn_default))
+    table.add_row("alpha", fmt(d.alpha_values, d.alpha_default))
+    table.add_row("k", fmt(d.k_values, d.k_default))
+    table.add_row("signature length eta", fmt(d.eta_values, d.eta_default))
+    table.add_row("page size P", str(d.page_size))
+    benchmark(table.render)
+    collect(table.render())
+    assert d.qn_default in d.qn_values
+    assert d.alpha_default in d.alpha_values
+    assert d.k_default in d.k_values

@@ -1,0 +1,70 @@
+"""Table 5: index size per component, all datasets x all indexes.
+
+Paper shape to reproduce: I3 is the most storage-efficient (shared pages
+across keyword cells); S2I takes a small-integer multiple of I3 and
+scatters across many small per-keyword tree files; IR-tree's per-node
+inverted file dwarfs its R-tree component and everything else.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import Table, collect, format_bytes
+
+from _shared import KINDS
+
+DATASETS = ["Twitter1M", "Twitter5M", "Twitter10M", "Twitter15M", "Wikipedia"]
+
+
+@pytest.mark.parametrize("label", DATASETS)
+@pytest.mark.benchmark(group="table5-size")
+def test_table5_sizes(benchmark, built_factory, label):
+    """Measure size computation; collect one Table 5 row set."""
+    builds = {kind: built_factory(kind, label) for kind in KINDS}
+    benchmark.pedantic(
+        lambda: [b.size_breakdown() for b in builds.values()], rounds=1, iterations=1
+    )
+    i3 = builds["I3"].size_breakdown()
+    s2i = builds["S2I"].size_breakdown()
+    ir = builds["IR-tree"].size_breakdown()
+    table = Table(
+        f"Table 5 row: index size on {label}",
+        ["component", "I3", "S2I", "IR-tree"],
+    )
+    table.add_row(
+        "primary",
+        f"data {format_bytes(i3['data'])}",
+        f"trees {format_bytes(s2i['trees'])}",
+        f"inv {format_bytes(ir['inverted'])}",
+    )
+    table.add_row(
+        "secondary",
+        f"head {format_bytes(i3['head'])}",
+        f"flat {format_bytes(s2i['flat'])}",
+        f"rtree {format_bytes(ir['rtree'])}",
+    )
+    table.add_row(
+        "total",
+        format_bytes(builds["I3"].size_bytes),
+        format_bytes(builds["S2I"].size_bytes),
+        format_bytes(builds["IR-tree"].size_bytes),
+    )
+    table.add_row(
+        "small files",
+        "1 data + 1 head",
+        f"{builds['S2I'].index.num_tree_files} tree files",
+        "per-node inv files",
+    )
+    collect(table.render())
+    # Paper shapes: I3 smallest; head file much smaller than data file.
+    # (The I3-vs-IR-tree ordering is asserted on Twitter only: IR-tree's
+    # inverted-file blowup is driven by vocabulary duplication across
+    # tree levels, which needs trees deeper than the 400-document
+    # Wikipedia corpus produces at this scale — see EXPERIMENTS.md.)
+    assert builds["I3"].size_bytes <= builds["S2I"].size_bytes
+    if label.startswith("Twitter"):
+        assert builds["I3"].size_bytes <= builds["IR-tree"].size_bytes
+    assert i3["head"] < i3["data"]
+    # IR-tree's inverted file dominates its R-tree component.
+    assert ir["inverted"] >= ir["rtree"]

@@ -1,0 +1,98 @@
+"""Shared benchmark fixtures: profiles, corpora, cached built indexes.
+
+Corpora and built indexes are cached per session — several figures reuse
+the same Twitter5M builds, and the paper likewise builds once and runs
+every query experiment against the same index files.
+
+All paper-style tables queued via ``repro.bench.reporting.collect`` are
+printed together at the end of the run (pytest captures per-test stdout,
+so printing from the session-finish hook is what makes them visible).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.config import active_profile
+from repro.bench.harness import BuiltIndex, build_index
+from repro.bench.reporting import drain_reports
+from repro.datasets.generators import (
+    Corpus,
+    TwitterLikeGenerator,
+    WikipediaLikeGenerator,
+)
+from repro.datasets.querylog import QueryLogGenerator
+
+_corpora: Dict[str, Corpus] = {}
+_built: Dict[Tuple[str, str, int], BuiltIndex] = {}
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The active benchmark profile (quick or full)."""
+    return active_profile()
+
+
+@pytest.fixture(scope="session")
+def corpus_factory(profile):
+    """Returns (and caches) a corpus by dataset label."""
+
+    def get(label: str) -> Corpus:
+        cached = _corpora.get(label)
+        if cached is not None:
+            return cached
+        if label == "Wikipedia":
+            corpus = WikipediaLikeGenerator(
+                profile.wikipedia_size, seed=profile.seed, name="Wikipedia"
+            ).generate()
+        elif label in profile.twitter_sizes:
+            corpus = TwitterLikeGenerator(
+                profile.twitter_sizes[label], seed=profile.seed, name=label
+            ).generate()
+        else:
+            raise KeyError(f"unknown dataset label {label!r}")
+        _corpora[label] = corpus
+        return corpus
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def built_factory(corpus_factory):
+    """Returns (and caches) a built index by (kind, dataset label)."""
+
+    def get(kind: str, label: str, eta: int = 300) -> BuiltIndex:
+        key = (kind, label, eta)
+        cached = _built.get(key)
+        if cached is not None:
+            return cached
+        corpus = corpus_factory(label)
+        kwargs = {"eta": eta} if kind == "I3" else {}
+        built = build_index(kind, corpus, **kwargs)
+        _built[key] = built
+        return built
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def querylog_factory(corpus_factory, profile):
+    """Returns a QueryLogGenerator for a dataset label."""
+
+    def get(label: str) -> QueryLogGenerator:
+        return QueryLogGenerator(corpus_factory(label), seed=profile.seed)
+
+    return get
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print every queued paper-style table once the run completes."""
+    text = drain_reports()
+    if text:
+        print("\n\n" + "=" * 72, file=sys.stderr)
+        print("PAPER-STYLE RESULT TABLES (quick-profile scale)", file=sys.stderr)
+        print("=" * 72, file=sys.stderr)
+        print(text, file=sys.stderr)

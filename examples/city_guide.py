@@ -1,0 +1,88 @@
+"""City guide: the full pipeline on raw text, plus the query extensions.
+
+Shows the batteries-included API a downstream application would use:
+
+1. feed raw geo-tagged text into :class:`SpatialKeywordDatabase`
+   (tokenisation and tf-idf happen inside);
+2. top-k search by query *string*;
+3. region-constrained search ("keyword X inside this rectangle");
+4. collective search ("one trip that covers coffee + pharmacy + atm");
+5. save the underlying I3 index to disk and load it back.
+
+Run with:  python examples/city_guide.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import SpatialKeywordDatabase, Semantics, load_index, save_index
+from repro.extensions.collective import CollectiveSearcher
+from repro.spatial.geometry import Rect
+
+PLACES = [
+    (1, 0.21, 0.32, "Third-wave coffee roastery with pour over bar"),
+    (2, 0.24, 0.30, "All-night pharmacy and convenience store"),
+    (3, 0.26, 0.33, "Bank branch with 24h ATM lobby"),
+    (4, 0.71, 0.68, "Specialty coffee kiosk, espresso and filter"),
+    (5, 0.74, 0.70, "Pharmacy with travel vaccination clinic"),
+    (6, 0.73, 0.66, "ATM cluster beside the metro entrance"),
+    (7, 0.50, 0.52, "Ramen bar, spicy tonkotsu a speciality"),
+    (8, 0.48, 0.55, "Vegan ramen and gyoza restaurant"),
+    (9, 0.90, 0.12, "Airport coffee chain outlet"),
+    (10, 0.10, 0.88, "Riverside museum cafe, coffee and cake"),
+]
+
+
+def main() -> None:
+    db = SpatialKeywordDatabase()
+    for place_id, x, y, text in PLACES:
+        db.add(place_id, x, y, text)
+    print(f"city guide loaded: {len(db)} places, "
+          f"{len(db.vocabulary)} distinct keywords\n")
+
+    # --- 1. plain top-k by query string --------------------------------
+    print("Top coffee near the ramen district (0.5, 0.5):")
+    for hit in db.search(0.5, 0.5, "coffee", k=3):
+        print(f"  #{hit.doc_id}  {hit.score:.3f}  {hit.text}")
+
+    # --- 2. AND semantics on a multi-word need --------------------------
+    print("\nPlaces that are BOTH ramen and spicy (AND):")
+    for hit in db.search(0.5, 0.5, "spicy ramen", k=3, semantics=Semantics.AND):
+        print(f"  #{hit.doc_id}  {hit.score:.3f}  {hit.text}")
+
+    # --- 3. region-constrained search -----------------------------------
+    north_east = Rect(0.6, 0.6, 1.0, 1.0)
+    print("\nCoffee inside the north-east quarter:")
+    for hit in db.index.range_query(north_east, ("coffee",)):
+        print(f"  #{hit.doc_id}  textual={hit.score:.3f}  {db.text_of(hit.doc_id)}")
+
+    # --- 4. collective search: one errand trip ---------------------------
+    searcher = CollectiveSearcher(
+        db.index, db.space, locate=lambda d: (db.get(d).x, db.get(d).y)
+    )
+    errands = ("coffee", "pharmacy", "atm")
+    for start, label in [((0.25, 0.31), "downtown"), ((0.72, 0.68), "uptown")]:
+        group = searcher.search_diameter(*start, errands)
+        stops = ", ".join(f"#{d}" for d in group.doc_ids)
+        print(f"\nErrand run from {label} {start}: visit {stops} "
+              f"(cost {group.cost:.3f})")
+        for word, doc_id in sorted(group.assignment.items()):
+            print(f"    {word:<9} -> #{doc_id} {db.text_of(doc_id)[:44]}")
+
+    # --- 5. persistence ---------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "city.i3ix")
+        save_index(db.index, path)
+        loaded = load_index(path)
+        print(f"\nindex saved to disk ({os.path.getsize(path):,} bytes) "
+              f"and loaded back: {loaded.num_documents} documents, "
+              f"{loaded.head.num_nodes} summary nodes")
+        report = loaded.describe()
+        print("\nstructural report of the loaded index:")
+        print("  " + report.render().replace("\n", "\n  "))
+
+
+if __name__ == "__main__":
+    main()

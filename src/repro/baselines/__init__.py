@@ -1,0 +1,15 @@
+"""Baselines: naive scan oracle, IR-tree family, S2I."""
+
+from repro.baselines.dirtree import DirInsertionPolicy
+from repro.baselines.irtree import InsertionPolicy, IRTree
+from repro.baselines.naive import NaiveScanIndex
+from repro.baselines.s2i import DEFAULT_THRESHOLD, S2IIndex
+
+__all__ = [
+    "DirInsertionPolicy",
+    "InsertionPolicy",
+    "IRTree",
+    "NaiveScanIndex",
+    "DEFAULT_THRESHOLD",
+    "S2IIndex",
+]

@@ -1,0 +1,71 @@
+"""Exhaustive-scan baseline: the correctness oracle.
+
+Scores every stored document against the query with no index, no
+pruning and no approximation.  Everything another index returns must
+match this scan's top-k (modulo equal-score ties, which the shared
+tie-break rule in :class:`~repro.model.results.TopKCollector` also
+removes) — the cross-index equivalence tests are the library's central
+correctness argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.model.document import SpatialDocument
+from repro.model.query import TopKQuery
+from repro.model.results import ScoredDoc, TopKCollector
+from repro.model.scoring import Ranker
+
+__all__ = ["NaiveScanIndex"]
+
+
+class NaiveScanIndex:
+    """A flat in-memory document store with linear-scan query answering."""
+
+    def __init__(self) -> None:
+        self._docs: Dict[int, SpatialDocument] = {}
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def insert_document(self, doc: SpatialDocument) -> None:
+        """Store (or replace) one document."""
+        self._docs[doc.doc_id] = doc
+
+    def delete_document(self, doc: SpatialDocument) -> bool:
+        """Remove a document by id; True if it was present."""
+        return self._docs.pop(doc.doc_id, None) is not None
+
+    def update_document(self, old: SpatialDocument, new: SpatialDocument) -> None:
+        """Replace a document."""
+        if old.doc_id != new.doc_id:
+            raise ValueError("update must keep the document id")
+        self._docs[new.doc_id] = new
+
+    def get(self, doc_id: int) -> Optional[SpatialDocument]:
+        """Fetch a stored document."""
+        return self._docs.get(doc_id)
+
+    def query(self, query: TopKQuery, ranker: Ranker) -> List[ScoredDoc]:
+        """Exact top-k by scanning and scoring every document."""
+        collector = TopKCollector(query.k)
+        for doc in self._docs.values():
+            score = ranker.score_document(query, doc)
+            if score is not None:
+                collector.offer(doc.doc_id, score)
+        return collector.results()
+
+    def range_query(self, region, words, semantics) -> List[ScoredDoc]:
+        """Exact region-constrained keyword search (textual scores)."""
+        words = tuple(dict.fromkeys(words))
+        hits = []
+        for doc in self._docs.values():
+            if not region.contains_point(doc.x, doc.y):
+                continue
+            if not semantics.matches(words, doc):
+                continue
+            score = sum(doc.terms[w] for w in words if w in doc.terms)
+            hits.append(ScoredDoc(score=score, doc_id=doc.doc_id))
+        hits.sort(key=lambda h: (-h.score, h.doc_id))
+        return hits

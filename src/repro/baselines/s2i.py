@@ -1,0 +1,441 @@
+"""The S2I baseline (Rocha-Junior et al. [17]): spatial inverted index.
+
+S2I partitions the database by keyword first.  Per keyword:
+
+* **infrequent** (at most ``threshold`` tuples): the tuples are stored as
+  one contiguous block in a flat file, fetched sequentially;
+* **frequent**: the tuples live in their own *aggregated R-tree* file
+  whose internal entries carry the subtree's maximum term weight.
+
+When a keyword's frequency crosses the threshold its tuples migrate
+between the flat file and a (new) R-tree — the data-transfer overhead
+the paper's Section 4.2 and the update experiment (Figure 13) put a
+price on.  The threshold also drives the "large number of small index
+files" effect the paper reports for Table 5: every frequent keyword is
+one more tree file (at least one page).
+
+Query processing pulls document hits from each query keyword's *source*
+in decreasing partial-score order (best-first tree traversal, or a
+sorted scan of the flat block) and completes every newly seen document's
+score immediately by *random-access lookups* in the other keywords'
+sources — the cross-tree aggregation whose random-access cost the paper
+identifies as S2I's weakness for multi-keyword queries.  Termination
+uses the standard threshold bound over the sources' frontiers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.model.document import SpatialDocument, SpatialTuple
+from repro.model.query import Semantics, TopKQuery
+from repro.model.results import ScoredDoc, TopKCollector
+from repro.model.scoring import Ranker
+from repro.spatial.artree import AggregatedRTree
+from repro.spatial.geometry import Rect
+from repro.storage.iostats import IOStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.storage.records import TUPLE_SIZE, f32
+
+__all__ = ["S2IIndex", "DEFAULT_THRESHOLD"]
+
+DEFAULT_THRESHOLD = 128
+"""Default frequency threshold T: a keyword whose tuples still fit one
+page stays in the flat file (the S2I paper ties T to the block size)."""
+
+
+class _FlatBlock:
+    """One infrequent keyword's contiguous tuple block in the flat file."""
+
+    __slots__ = ("tuples",)
+
+    def __init__(self) -> None:
+        self.tuples: Dict[int, Tuple[float, float, float]] = {}  # doc -> (x, y, w)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.tuples) * TUPLE_SIZE
+
+    def pages(self, page_size: int) -> int:
+        """Sequential pages a full read of the block touches."""
+        return max(1, -(-self.size_bytes // page_size)) if self.tuples else 0
+
+
+class S2IIndex:
+    """Spatial inverted index over per-keyword trees and flat blocks.
+
+    Attributes:
+        space: The data-space rectangle.
+        threshold: Keyword frequency above which a dedicated aggregated
+            R-tree replaces the flat block.
+        stats: Shared I/O counters (``s2i.tree`` node pages,
+            ``s2i.flat`` sequential block pages).
+    """
+
+    def __init__(
+        self,
+        space: Rect,
+        threshold: int = DEFAULT_THRESHOLD,
+        stats: Optional[IOStats] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        max_entries: Optional[int] = None,
+        component: str = "s2i",
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.space = space
+        self.threshold = threshold
+        self.stats = stats if stats is not None else IOStats()
+        self.page_size = page_size
+        self.max_entries = max_entries
+        self.tree_component = f"{component}.tree"
+        self.flat_component = f"{component}.flat"
+        self._flat: Dict[str, _FlatBlock] = {}
+        self._trees: Dict[str, AggregatedRTree] = {}
+        self.num_documents = 0
+        self.num_tuples = 0
+        self.migrations = 0  # flat->tree and tree->flat moves, both ways
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_document(self, doc: SpatialDocument) -> None:
+        """Insert a document, one tuple per keyword."""
+        if not self.space.contains_point(doc.x, doc.y):
+            raise ValueError(f"document {doc.doc_id} lies outside the data space")
+        for t in doc.tuples():
+            self.insert_tuple(t)
+        self.num_documents += 1
+
+    def insert_tuple(self, t: SpatialTuple) -> None:
+        """Insert one tuple, promoting its keyword if it turns frequent."""
+        weight = f32(t.weight)
+        self.num_tuples += 1
+        tree = self._trees.get(t.word)
+        if tree is not None:
+            tree.tree.insert_point(t.x, t.y, t.doc_id, weight=weight)
+            return
+        block = self._flat.setdefault(t.word, _FlatBlock())
+        if len(block) < self.threshold:
+            # Appending rewrites the contiguous block (read + write).
+            self.stats.record_read(
+                self.flat_component, block.pages(self.page_size), key=t.word
+            )
+            block.tuples[t.doc_id] = (t.x, t.y, weight)
+            self.stats.record_write(
+                self.flat_component, block.pages(self.page_size), key=t.word
+            )
+            return
+        # The keyword turns frequent: move the whole block into a new tree.
+        self.stats.record_read(
+            self.flat_component, block.pages(self.page_size), key=t.word
+        )
+        tree = self._new_tree(t.word)
+        for doc_id, (x, y, w) in block.tuples.items():
+            tree.tree.insert_point(x, y, doc_id, weight=w)
+        tree.tree.insert_point(t.x, t.y, t.doc_id, weight=weight)
+        del self._flat[t.word]
+        self._trees[t.word] = tree
+        self.migrations += 1
+
+    def _new_tree(self, word: str) -> AggregatedRTree:
+        return AggregatedRTree(
+            word,
+            stats=self.stats,
+            component=self.tree_component,
+            page_size=self.page_size,
+            max_entries=self.max_entries,
+        )
+
+    def delete_document(self, doc: SpatialDocument) -> bool:
+        """Delete a document; True if every tuple was found."""
+        ok = True
+        for t in doc.tuples():
+            ok &= self.delete_tuple(t)
+        if self.num_documents > 0:
+            self.num_documents -= 1
+        return ok
+
+    def delete_tuple(self, t: SpatialTuple) -> bool:
+        """Delete one tuple, demoting its keyword if it turns infrequent."""
+        tree = self._trees.get(t.word)
+        if tree is not None:
+            if not tree.tree.delete_point(t.x, t.y, t.doc_id):
+                return False
+            self.num_tuples -= 1
+            if len(tree.tree) <= self.threshold:
+                self._demote(t.word, tree)
+            return True
+        block = self._flat.get(t.word)
+        if block is None or t.doc_id not in block.tuples:
+            return False
+        self.stats.record_read(
+            self.flat_component, block.pages(self.page_size), key=t.word
+        )
+        del block.tuples[t.doc_id]
+        self.num_tuples -= 1
+        if block.tuples:
+            self.stats.record_write(
+                self.flat_component, block.pages(self.page_size), key=t.word
+            )
+        else:
+            del self._flat[t.word]
+        return True
+
+    def _demote(self, word: str, tree: AggregatedRTree) -> None:
+        """Move a no-longer-frequent keyword back to the flat file."""
+        block = _FlatBlock()
+        for node in tree.tree.nodes():
+            if node.is_leaf:
+                for entry in node.entries:
+                    # Extraction reads every tree page once.
+                    block.tuples[entry.payload] = (
+                        entry.mbr.min_x,
+                        entry.mbr.min_y,
+                        entry.agg,
+                    )
+        self.stats.record_read(self.tree_component, tree.num_nodes, key=word)
+        self.stats.record_write(
+            self.flat_component, block.pages(self.page_size), key=word
+        )
+        del self._trees[word]
+        if block.tuples:
+            self._flat[word] = block
+        self.migrations += 1
+
+    def update_document(self, old: SpatialDocument, new: SpatialDocument) -> None:
+        """Update = delete + insert."""
+        if old.doc_id != new.doc_id:
+            raise ValueError("update must keep the document id")
+        self.delete_document(old)
+        self.insert_document(new)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, query: TopKQuery, ranker: Ranker) -> List[ScoredDoc]:
+        """Top-k by multi-source threshold aggregation with random access."""
+        sources: List[_Source] = []
+        for word in query.words:
+            source = self._make_source(word, query, ranker)
+            if source is None:
+                if query.semantics is Semantics.AND:
+                    return []
+                continue
+            sources.append(source)
+        if not sources:
+            return []
+        collector = TopKCollector(query.k)
+        seen: set[int] = set()
+        one_minus_alpha = 1.0 - ranker.alpha
+        while True:
+            active = [s for s in sources if not s.exhausted]
+            if not active:
+                break
+            if len(collector) >= query.k:
+                bound = self._unseen_bound(
+                    query, sources, active, one_minus_alpha
+                )
+                if bound < collector.delta:
+                    break
+            source = max(active, key=lambda s: s.frontier)
+            hit = source.pull()
+            if hit is None:
+                continue
+            _, doc_id, x, y, weight = hit
+            if doc_id in seen:
+                continue
+            seen.add(doc_id)
+            weights = {source.word: weight}
+            complete = True
+            for other in sources:
+                if other is source:
+                    continue
+                found = other.lookup(doc_id, x, y)
+                if found is None:
+                    complete = False
+                    if query.semantics is Semantics.AND:
+                        break
+                else:
+                    weights[other.word] = found
+            if query.semantics is Semantics.AND and not complete:
+                continue
+            score = ranker.score_partial(query, x, y, sum(weights.values()))
+            collector.offer(doc_id, score)
+        return collector.results()
+
+    def _unseen_bound(
+        self,
+        query: TopKQuery,
+        sources: List["_Source"],
+        active: List["_Source"],
+        one_minus_alpha: float,
+    ) -> float:
+        """Best possible score of a document no source has emitted yet.
+
+        An unemitted document can only carry keywords of still-active
+        sources (an exhausted source has emitted everything it holds);
+        its score through source i is bounded by i's frontier plus the
+        other active keywords' maximum contributions.
+        """
+        if query.semantics is Semantics.AND and len(active) < len(sources):
+            return float("-inf")
+        rest = sum(one_minus_alpha * s.max_weight for s in active)
+        bounds = [
+            s.frontier + (rest - one_minus_alpha * s.max_weight) for s in active
+        ]
+        if query.semantics is Semantics.AND:
+            return min(bounds)
+        return max(bounds)
+
+    def _make_source(
+        self, word: str, query: TopKQuery, ranker: Ranker
+    ) -> Optional["_Source"]:
+        tree = self._trees.get(word)
+        if tree is not None:
+            return _TreeSource(word, tree, query, ranker, self.stats)
+        block = self._flat.get(word)
+        if block is not None:
+            return _FlatSource(
+                word, block, query, ranker, self.stats, self.flat_component, self.page_size
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_frequent(self, word: str) -> bool:
+        """Whether the keyword currently lives in its own tree."""
+        return word in self._trees
+
+    @property
+    def num_tree_files(self) -> int:
+        """Count of per-keyword tree files (Table 5's 'small files')."""
+        return len(self._trees)
+
+    def size_breakdown(self) -> Dict[str, int]:
+        """Bytes per component — Table 5's S2I column.
+
+        The flat file allocates per-keyword *blocks* of whole pages (the
+        S2I design: fixed-size blocks so a keyword's tuples stay
+        contiguous and are fetched sequentially), so every infrequent
+        keyword costs at least one page; every frequent keyword's tree
+        is its own file of whole node pages — together the "large number
+        of small index files" overhead Table 5 charges S2I for.
+        """
+        flat = sum(
+            b.pages(self.page_size) * self.page_size for b in self._flat.values()
+        )
+        trees = sum(t.size_bytes for t in self._trees.values())
+        return {"flat": flat, "trees": trees}
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-disk size."""
+        return sum(self.size_breakdown().values())
+
+
+class _Source:
+    """One query keyword's ordered stream of (partial score, tuple) hits."""
+
+    word: str
+    max_weight: float
+    frontier: float
+    exhausted: bool
+
+    def pull(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def lookup(self, doc_id: int, x: float, y: float) -> Optional[float]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class _TreeSource(_Source):
+    """Best-first stream over a frequent keyword's aggregated R-tree."""
+
+    def __init__(
+        self,
+        word: str,
+        tree: AggregatedRTree,
+        query: TopKQuery,
+        ranker: Ranker,
+        stats: IOStats,
+    ) -> None:
+        self.word = word
+        self._tree = tree
+        self.max_weight = tree.max_weight
+        self.frontier = float("inf")
+        self.exhausted = False
+        self._iter: Iterator = tree.iter_best(ranker, query.x, query.y)
+
+    def pull(self):
+        hit = next(self._iter, None)
+        if hit is None:
+            self.exhausted = True
+            self.frontier = float("-inf")
+            return None
+        self.frontier = hit[0]
+        return hit
+
+    def lookup(self, doc_id: int, x: float, y: float) -> Optional[float]:
+        """Random access: descend every subtree whose MBR covers the point."""
+        tree = self._tree.tree
+        stack = [tree.root_id]
+        while stack:
+            node = tree._read(stack.pop())
+            for entry in node.entries:
+                if not entry.mbr.contains_point(x, y):
+                    continue
+                if node.is_leaf:
+                    if entry.payload == doc_id:
+                        return entry.agg
+                else:
+                    stack.append(entry.child)
+        return None
+
+
+class _FlatSource(_Source):
+    """Sorted scan of an infrequent keyword's flat block."""
+
+    def __init__(
+        self,
+        word: str,
+        block: _FlatBlock,
+        query: TopKQuery,
+        ranker: Ranker,
+        stats: IOStats,
+        component: str,
+        page_size: int,
+    ) -> None:
+        self.word = word
+        stats.record_read(component, block.pages(page_size))
+        alpha = ranker.alpha
+        hits = []
+        for doc_id, (x, y, weight) in block.tuples.items():
+            partial = alpha * ranker.spatial_proximity(query.x, query.y, x, y)
+            partial += (1.0 - alpha) * weight
+            hits.append((partial, doc_id, x, y, weight))
+        hits.sort(key=lambda h: (-h[0], h[1]))
+        self._hits = hits
+        self._pos = 0
+        self._by_doc = {doc_id: w for doc_id, (_, _, w) in block.tuples.items()}
+        self.max_weight = max((w for _, _, w in block.tuples.values()), default=0.0)
+        self.frontier = float("inf")
+        self.exhausted = False
+
+    def pull(self):
+        if self._pos >= len(self._hits):
+            self.exhausted = True
+            self.frontier = float("-inf")
+            return None
+        hit = self._hits[self._pos]
+        self._pos += 1
+        self.frontier = hit[0]
+        return hit
+
+    def lookup(self, doc_id: int, x: float, y: float) -> Optional[float]:
+        """The block is already in memory after the initial sequential read."""
+        return self._by_doc.get(doc_id)

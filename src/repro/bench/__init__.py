@@ -1,0 +1,32 @@
+"""Benchmark harness: profiles, builders, runners, reporting."""
+
+from repro.bench.config import PAPER_DEFAULTS, BenchProfile, active_profile
+from repro.bench.harness import (
+    INDEX_KINDS,
+    BuiltIndex,
+    QueryRunMetrics,
+    UpdateMetrics,
+    build_index,
+    run_query_set,
+    run_updates,
+)
+from repro.bench.reporting import Table, collect, drain_reports, format_bytes
+from repro.bench.workloads import update_workload
+
+__all__ = [
+    "PAPER_DEFAULTS",
+    "BenchProfile",
+    "active_profile",
+    "INDEX_KINDS",
+    "BuiltIndex",
+    "QueryRunMetrics",
+    "UpdateMetrics",
+    "build_index",
+    "run_query_set",
+    "run_updates",
+    "Table",
+    "collect",
+    "drain_reports",
+    "format_bytes",
+    "update_workload",
+]

@@ -1,0 +1,87 @@
+"""Paper-style tables for benchmark output.
+
+Each benchmark regenerates one of the paper's tables or figures; these
+helpers render the measured numbers in layouts that line up with the
+paper (rows = settings, columns = indexes), so the EXPERIMENTS.md
+paper-vs-measured comparison can be read off directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["Table", "format_bytes", "collect", "drain_reports"]
+
+_PENDING: List[str] = []
+
+
+class Table:
+    """A small fixed-width table builder."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cells are stringified, floats to 3 sig places."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        """The table as an aligned text block."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        sep = "-" * len(header)
+        lines = [self.title, sep, header, sep]
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (the paper reports GB; we report what
+    the scale produces)."""
+    units = ["B", "KB", "MB", "GB"]
+    value = float(n)
+    for unit in units:
+        if value < 1024 or unit == units[-1]:
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.1f}GB"
+
+
+def collect(block: str) -> None:
+    """Queue a rendered block for printing at session teardown.
+
+    pytest captures stdout per test; queuing and draining from a session
+    fixture makes every paper-style table appear once, together, at the
+    end of the benchmark run.
+    """
+    _PENDING.append(block)
+
+
+def drain_reports() -> str:
+    """Return and clear everything queued by :func:`collect`."""
+    out = "\n\n".join(_PENDING)
+    _PENDING.clear()
+    return out

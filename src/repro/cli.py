@@ -1,0 +1,210 @@
+"""Command-line interface: generate corpora, build, inspect and query.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro generate --kind twitter --docs 2000 --out corpus.jsonl
+    python -m repro build    --corpus corpus.jsonl --out city.i3ix
+    python -m repro info     --index city.i3ix
+    python -m repro query    --index city.i3ix --at 0.4,0.6 \
+                             --words "spicy restaurant" --k 5 --semantics and
+
+Corpora are exchanged as JSON lines, one document per line:
+
+    {"id": 7, "x": 0.41, "y": 0.63, "terms": {"spicy": 0.7, ...}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, List, Optional
+
+from repro.core.index import I3Index
+from repro.core.persistence import load_index, save_index
+from repro.datasets.generators import TwitterLikeGenerator, WikipediaLikeGenerator
+from repro.model.document import SpatialDocument
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import Rect
+
+__all__ = ["main"]
+
+
+def _write_corpus(documents: Iterable[SpatialDocument], out) -> int:
+    count = 0
+    for doc in documents:
+        record = {"id": doc.doc_id, "x": doc.x, "y": doc.y, "terms": dict(doc.terms)}
+        out.write(json.dumps(record) + "\n")
+        count += 1
+    return count
+
+
+def _read_corpus(path: str) -> List[SpatialDocument]:
+    documents = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                documents.append(
+                    SpatialDocument(
+                        record["id"], record["x"], record["y"], record["terms"]
+                    )
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise SystemExit(f"{path}:{line_no}: bad document record: {exc}")
+    return documents
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "twitter":
+        corpus = TwitterLikeGenerator(args.docs, seed=args.seed).generate()
+    else:
+        corpus = WikipediaLikeGenerator(args.docs, seed=args.seed).generate()
+    if args.out == "-":
+        count = _write_corpus(corpus.documents, sys.stdout)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            count = _write_corpus(corpus.documents, fh)
+    print(
+        f"generated {count} {args.kind}-like documents "
+        f"({len(corpus.vocabulary)} distinct keywords) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    documents = _read_corpus(args.corpus)
+    if not documents:
+        raise SystemExit(f"{args.corpus}: no documents")
+    if args.space:
+        space = _parse_rect(args.space)
+    else:
+        xs = [d.x for d in documents]
+        ys = [d.y for d in documents]
+        space = Rect(min(xs), min(ys), max(xs) + 1e-9, max(ys) + 1e-9)
+    index = I3Index(space, eta=args.eta, page_size=args.page_size)
+    if args.incremental:
+        for doc in documents:
+            index.insert_document(doc)
+    else:
+        index.bulk_load(documents)
+    save_index(index, args.out)
+    breakdown = ", ".join(f"{k}={v:,}B" for k, v in index.size_breakdown().items())
+    print(
+        f"built I3 over {index.num_documents} documents "
+        f"({index.num_tuples} tuples); {breakdown}; saved -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    print(index.describe().render())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    x, y = _parse_point(args.at)
+    words = tuple(args.words.split())
+    if not words:
+        raise SystemExit("--words must contain at least one keyword")
+    semantics = Semantics.AND if args.semantics == "and" else Semantics.OR
+    query = TopKQuery(x, y, words, k=args.k, semantics=semantics)
+    ranker = Ranker(index.space, alpha=args.alpha)
+    results = index.query(query, ranker)
+    if args.json:
+        json.dump(
+            [{"doc_id": r.doc_id, "score": r.score} for r in results],
+            sys.stdout,
+        )
+        print()
+    else:
+        if not results:
+            print("(no results)")
+        for rank, result in enumerate(results, start=1):
+            print(f"{rank:>3}. doc {result.doc_id:<10} score {result.score:.6f}")
+    reads = index.stats.reads()
+    print(f"[{len(results)} results, {reads} page reads]", file=sys.stderr)
+    return 0
+
+
+def _parse_point(text: str):
+    try:
+        x_str, y_str = text.split(",")
+        return float(x_str), float(y_str)
+    except ValueError:
+        raise SystemExit(f"bad point {text!r}; expected X,Y")
+
+
+def _parse_rect(text: str) -> Rect:
+    try:
+        parts = [float(p) for p in text.split(",")]
+        min_x, min_y, max_x, max_y = parts
+        return Rect(min_x, min_y, max_x, max_y)
+    except ValueError:
+        raise SystemExit(f"bad rectangle {text!r}; expected minX,minY,maxX,maxY")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="I3 top-k spatial keyword search (EDBT 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic corpus")
+    generate.add_argument("--kind", choices=["twitter", "wikipedia"], default="twitter")
+    generate.add_argument("--docs", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", default="-", help="output path or - for stdout")
+    generate.set_defaults(func=_cmd_generate)
+
+    build = sub.add_parser("build", help="build and save an I3 index")
+    build.add_argument("--corpus", required=True, help="JSON-lines corpus path")
+    build.add_argument("--out", required=True, help="index output path")
+    build.add_argument("--eta", type=int, default=300)
+    build.add_argument("--page-size", type=int, default=4096)
+    build.add_argument(
+        "--space", help="data space as minX,minY,maxX,maxY (default: bounding box)"
+    )
+    build.add_argument(
+        "--incremental",
+        action="store_true",
+        help="insert one document at a time instead of bulk loading",
+    )
+    build.set_defaults(func=_cmd_build)
+
+    info = sub.add_parser("info", help="print an index's structural report")
+    info.add_argument("--index", required=True)
+    info.set_defaults(func=_cmd_info)
+
+    query = sub.add_parser("query", help="run a top-k query against an index")
+    query.add_argument("--index", required=True)
+    query.add_argument("--at", required=True, help="query location X,Y")
+    query.add_argument("--words", required=True, help="space-separated keywords")
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--semantics", choices=["and", "or"], default="or")
+    query.add_argument("--alpha", type=float, default=0.5)
+    query.add_argument("--json", action="store_true", help="JSON output")
+    query.set_defaults(func=_cmd_query)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""The paper's contribution: the I3 integrated inverted index."""
+
+from repro.core.and_semantics import AndSemantics
+from repro.core.candidates import Candidate, DenseRef, DocAccumulator
+from repro.core.headfile import CellPages, HeadFile, SummaryInfo, SummaryNode
+from repro.core.index import DEFAULT_ETA, DEFAULT_MAX_DEPTH, I3Index
+from repro.core.kwcells import DataFile
+from repro.core.lookup import LookupEntry, LookupTable
+from repro.core.or_semantics import OrSemantics
+from repro.core.query import I3QueryProcessor, QueryTrace
+
+__all__ = [
+    "AndSemantics",
+    "Candidate",
+    "DenseRef",
+    "DocAccumulator",
+    "CellPages",
+    "HeadFile",
+    "SummaryInfo",
+    "SummaryNode",
+    "DEFAULT_ETA",
+    "DEFAULT_MAX_DEPTH",
+    "I3Index",
+    "DataFile",
+    "LookupEntry",
+    "LookupTable",
+    "OrSemantics",
+    "I3QueryProcessor",
+    "QueryTrace",
+]

@@ -1,0 +1,83 @@
+"""Candidate cells and per-document accumulators for I3 query processing.
+
+Algorithm 4 maintains, per candidate search cell,
+
+    C = <C.cell, C.denseKwds, C.docs, C.upperScore>
+
+plus (in this implementation) the set of query keywords already fetched
+on the path from the root — needed to decide, under AND semantics,
+whether a partially-matched document can still be completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.core.headfile import SummaryInfo, SummaryNode
+
+__all__ = ["DocAccumulator", "DenseRef", "Candidate"]
+
+
+@dataclass(slots=True)
+class DocAccumulator:
+    """Partial knowledge about one document within a candidate cell.
+
+    Grows as the query keywords that are non-dense along the cell's root
+    path get fetched: ``weights`` maps each matched query keyword to its
+    term weight in this document.
+    """
+
+    x: float
+    y: float
+    weights: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def words(self) -> Set[str]:
+        """The matched query keywords."""
+        return set(self.weights)
+
+    @property
+    def weight_sum(self) -> float:
+        """Sum of matched term weights — the document's phi_t so far."""
+        return sum(self.weights.values())
+
+    def absorb(self, word: str, weight: float) -> None:
+        """Fold in one fetched tuple of this document."""
+        self.weights.setdefault(word, weight)
+
+    def copy(self) -> "DocAccumulator":
+        """Independent copy, used when a candidate splits into children."""
+        return DocAccumulator(x=self.x, y=self.y, weights=dict(self.weights))
+
+
+@dataclass(slots=True)
+class DenseRef:
+    """A query keyword that is dense in the candidate's cell.
+
+    ``info`` is the keyword cell's summary E (available from the parent
+    summary node without reading the child); ``node_id`` locates the
+    child's own summary node, read lazily — only when the candidate is
+    actually expanded — so pruned candidates cost no head-file I/O.
+    """
+
+    info: SummaryInfo
+    node_id: int
+    node: Optional[SummaryNode] = None
+
+
+@dataclass(slots=True)
+class Candidate:
+    """One candidate search cell of the best-first traversal."""
+
+    cell: int
+    dense: Dict[str, DenseRef]
+    docs: Dict[int, DocAccumulator]
+    fetched: FrozenSet[str]
+    upper_score: float = 0.0
+
+    @property
+    def is_resolved(self) -> bool:
+        """Whether no query keyword is dense here — every relevant tuple
+        has been fetched, so the documents can be finally scored."""
+        return not self.dense

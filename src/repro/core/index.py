@@ -1,0 +1,458 @@
+"""The I3 index: a scalable integrated inverted index (paper Section 4).
+
+I3 combines three components:
+
+* an in-memory **lookup table** mapping each keyword to either its root
+  summary node (keyword dense in the whole space) or directly to the
+  data page of its single keyword cell;
+* a disk-resident **head file** of summary nodes for dense keyword
+  cells, each carrying signatures and weight upper bounds for pruning;
+* a disk-resident **data file** of slotted pages storing the spatial
+  tuples of all keyword cells of all inverted lists, intermixed.
+
+Data operations follow the paper's Algorithms 1-3, with one documented
+deviation (see ``DESIGN.md``): when a keyword cell overflows its page
+and turns dense, its ``capacity + 1`` tuples are *redistributed* into
+the four child keyword cells (fresh source ids, pages chosen by the
+free-slot allocator) rather than left behind in the overflowing page —
+this preserves the paper's core invariant that every non-dense keyword
+cell is fetchable with a single page I/O.
+
+Query processing lives in :mod:`repro.core.query`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.headfile import CellPages, HeadFile, SummaryInfo, SummaryNode
+from repro.core.kwcells import DataFile
+from repro.core.lookup import LookupTable
+from repro.core.query import I3QueryProcessor
+from repro.model.document import SpatialDocument, SpatialTuple
+from repro.model.results import ScoredDoc
+from repro.model.query import TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.cells import CellGrid, ROOT_CELL, child_cell
+from repro.spatial.geometry import Rect
+from repro.storage.iostats import IOStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.storage.records import StoredTuple, f32
+
+__all__ = ["I3Index", "DEFAULT_ETA", "DEFAULT_MAX_DEPTH"]
+
+DEFAULT_ETA = 300
+"""The paper's tuned signature length (Figure 5)."""
+
+DEFAULT_MAX_DEPTH = 24
+"""Quadtree depth limit; cells this deep chain pages instead of splitting,
+which keeps pathological co-located tuple sets from splitting forever."""
+
+
+class I3Index:
+    """The integrated inverted index for top-k spatial keyword search.
+
+    Attributes:
+        space: The data-space rectangle (the root quadtree cell).
+        eta: Signature bitmap length used in summary nodes.
+        grid: Shared quadtree cell geometry.
+        stats: I/O counters covering the head and data files.
+    """
+
+    def __init__(
+        self,
+        space: Rect,
+        eta: int = DEFAULT_ETA,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        stats: Optional[IOStats] = None,
+        head_component: str = "i3.head",
+        data_component: str = "i3.data",
+        buffer_pages: Optional[int] = None,
+    ) -> None:
+        if eta <= 0:
+            raise ValueError(f"eta must be positive, got {eta}")
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.space = space
+        self.eta = eta
+        self.max_depth = max_depth
+        self.stats = stats if stats is not None else IOStats()
+        self.grid = CellGrid(space)
+        self.data = DataFile(
+            stats=self.stats,
+            component=data_component,
+            page_size=page_size,
+            buffer_pages=buffer_pages,
+        )
+        self.head = HeadFile(
+            stats=self.stats, component=head_component, page_size=page_size
+        )
+        self.lookup = LookupTable()
+        self.num_documents = 0
+        self.num_tuples = 0
+        self._processor = I3QueryProcessor(self)
+
+    @property
+    def capacity(self) -> int:
+        """Keyword-cell capacity: the paper's P/B tuples per page."""
+        return self.data.capacity
+
+    def clear_cache(self) -> None:
+        """Drop the data-file buffer pool (no-op when unbuffered) — run
+        before a query set to measure cold-cache I/O like the paper."""
+        self.data.clear_cache()
+
+    # ------------------------------------------------------------------
+    # Document-level operations
+    # ------------------------------------------------------------------
+    def insert_document(self, doc: SpatialDocument) -> None:
+        """Insert a spatial document (one tuple per distinct keyword)."""
+        if not self.space.contains_point(doc.x, doc.y):
+            raise ValueError(f"document {doc.doc_id} lies outside the data space")
+        for t in doc.tuples():
+            self.insert_tuple(t)
+        self.num_documents += 1
+
+    def delete_document(self, doc: SpatialDocument) -> bool:
+        """Delete a previously inserted document; True if all its tuples
+        were found."""
+        ok = True
+        for t in doc.tuples():
+            ok &= self.delete_tuple(t.word, t.doc_id, t.x, t.y)
+        if self.num_documents > 0:
+            self.num_documents -= 1
+        return ok
+
+    def update_document(self, old: SpatialDocument, new: SpatialDocument) -> None:
+        """Update = delete followed by insert (paper Section 4.5): the
+        location or keywords may have changed, moving tuples across
+        keyword cells."""
+        if old.doc_id != new.doc_id:
+            raise ValueError("update must keep the document id")
+        self.delete_document(old)
+        self.insert_document(new)
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, documents) -> None:
+        """Build the index from scratch over a document collection.
+
+        Shreds every document, groups the tuples by keyword and
+        materialises each keyword's quadtree decomposition top-down.
+        The resulting cell structure is identical to what incremental
+        insertion produces (a keyword cell splits iff it holds more than
+        ``capacity`` tuples, and splits never merge back), but each page
+        and summary node is written once instead of once per tuple.
+
+        The index must be empty.
+        """
+        if self.num_tuples or self.num_documents:
+            raise ValueError("bulk_load requires an empty index")
+        by_word: Dict[str, List[StoredTuple]] = {}
+        count = 0
+        for doc in documents:
+            if not self.space.contains_point(doc.x, doc.y):
+                raise ValueError(f"document {doc.doc_id} lies outside the data space")
+            count += 1
+            for t in doc.tuples():
+                by_word.setdefault(t.word, []).append(
+                    StoredTuple(
+                        doc_id=t.doc_id,
+                        x=t.x,
+                        y=t.y,
+                        weight=f32(t.weight),
+                        source_id=1,
+                    )
+                )
+        for word, records in by_word.items():
+            if len(records) <= self.capacity:
+                self.lookup.set_non_dense(word, self.data.create_cell(records))
+            else:
+                self.lookup.set_dense(
+                    word, self._build_dense(word, ROOT_CELL, 0, records)
+                )
+            self.num_tuples += len(records)
+        self.num_documents = count
+
+    # ------------------------------------------------------------------
+    # Tuple insertion (Algorithms 1-3)
+    # ------------------------------------------------------------------
+    def insert_tuple(self, t: SpatialTuple) -> None:
+        """Insert one spatial tuple."""
+        record = StoredTuple(
+            doc_id=t.doc_id, x=t.x, y=t.y, weight=f32(t.weight), source_id=1
+        )
+        entry = self.lookup.get(t.word)
+        self.num_tuples += 1
+        if entry is None:
+            # A brand-new keyword: one tuple, one cell, any page with room.
+            cell = self.data.create_cell([record])
+            self.lookup.set_non_dense(t.word, cell)
+            return
+        if not entry.dense:
+            self._insert_non_dense_root(t.word, entry.target, record)
+            return
+        self._insert_dense(t.word, entry.target, record)
+
+    def _insert_non_dense_root(
+        self, word: str, cell: CellPages, record: StoredTuple
+    ) -> None:
+        """Algorithm 2: the keyword is not dense in the root cell."""
+        if cell.count < self.capacity:
+            self.data.insert_into_cell(cell, record)
+            return
+        # The root keyword cell overflows: the keyword becomes dense in
+        # the whole space; redistribute into child keyword cells.
+        tuples = self.data.dissolve_cell(cell)
+        tuples.append(record)
+        node_id = self._build_dense(word, ROOT_CELL, 0, tuples)
+        self.lookup.set_dense(word, node_id)
+
+    def _insert_dense(self, word: str, node_id: int, record: StoredTuple) -> None:
+        """Algorithms 1 and 3: descend the dense chain, updating summaries."""
+        node = self.head.read(node_id)
+        cell_id = ROOT_CELL
+        level = 0
+        while True:
+            quadrant = self.grid.quadrant_of(cell_id, record.x, record.y)
+            node.own.add(record.doc_id, record.weight)
+            node.children[quadrant].add(record.doc_id, record.weight)
+            ptr = node.child_ptrs[quadrant]
+            child_id = child_cell(cell_id, quadrant)
+            child_level = level + 1
+            if isinstance(ptr, int):
+                # Child keyword cell still dense: persist and descend.
+                self.head.write(node_id, node)
+                node_id, node = ptr, self.head.read(ptr)
+                cell_id, level = child_id, child_level
+                continue
+            if ptr is None:
+                cell = self.data.create_cell([record])
+                node.child_ptrs[quadrant] = cell
+                self.head.write(node_id, node)
+                return
+            cell = ptr
+            if cell.count < self.capacity or child_level >= self.max_depth:
+                self.data.insert_into_cell(
+                    cell, record, allow_overflow=child_level >= self.max_depth
+                )
+                self.head.write(node_id, node)
+                return
+            # The child keyword cell overflows and may still split.
+            tuples = self.data.dissolve_cell(cell)
+            tuples.append(record)
+            node.child_ptrs[quadrant] = self._build_dense(
+                word, child_id, child_level, tuples
+            )
+            self.head.write(node_id, node)
+            return
+
+    def _build_dense(
+        self, word: str, cell_id: int, level: int, tuples: List[StoredTuple]
+    ) -> int:
+        """Turn an overflowing keyword cell into a summary node subtree.
+
+        Partitions the tuples by quadrant, creates non-dense child cells
+        in the data file, and recurses for any child that itself exceeds
+        capacity (possible when every tuple falls in one quadrant).
+        """
+        groups: List[List[StoredTuple]] = [[], [], [], []]
+        for record in tuples:
+            groups[self.grid.quadrant_of(cell_id, record.x, record.y)].append(record)
+        children = [SummaryInfo.of_tuples(self.eta, g) for g in groups]
+        child_ptrs: List[object] = []
+        for quadrant, group in enumerate(groups):
+            child_level = level + 1
+            if not group:
+                child_ptrs.append(None)
+            elif len(group) > self.capacity and child_level < self.max_depth:
+                child_ptrs.append(
+                    self._build_dense(
+                        word, child_cell(cell_id, quadrant), child_level, group
+                    )
+                )
+            else:
+                child_ptrs.append(self.data.create_cell(group))
+        node = SummaryNode(
+            word=word,
+            cell=cell_id,
+            own=SummaryInfo.of_tuples(self.eta, tuples),
+            children=children,
+            child_ptrs=child_ptrs,
+        )
+        return self.head.allocate(node)
+
+    # ------------------------------------------------------------------
+    # Tuple deletion (Section 4.5)
+    # ------------------------------------------------------------------
+    def delete_tuple(self, word: str, doc_id: int, x: float, y: float) -> bool:
+        """Delete one tuple; returns whether it was found.
+
+        For a dense keyword the leaf cell's summary is rebuilt by
+        re-scanning its page and the change is propagated up the summary
+        chain (signature bitmaps cannot unset bits incrementally).
+        Dense status is sticky: a cell that shrinks below capacity keeps
+        its summary node, matching the paper's lack of a merge step.
+        """
+        entry = self.lookup.get(word)
+        if entry is None:
+            return False
+        if not entry.dense:
+            cell = entry.target
+            if not self.data.delete_from_cell(cell, doc_id):
+                return False
+            self.num_tuples -= 1
+            if cell.count == 0:
+                self.lookup.remove(word)
+            return True
+        # Descend the dense chain, remembering the path for propagation.
+        path: List[tuple[int, SummaryNode, int]] = []
+        node_id = entry.target
+        node = self.head.read(node_id)
+        cell_id = ROOT_CELL
+        while True:
+            quadrant = self.grid.quadrant_of(cell_id, x, y)
+            ptr = node.child_ptrs[quadrant]
+            if isinstance(ptr, int):
+                path.append((node_id, node, quadrant))
+                node_id, node = ptr, self.head.read(ptr)
+                cell_id = child_cell(cell_id, quadrant)
+                continue
+            if ptr is None:
+                return False
+            found, remaining = self.data.delete_and_collect(ptr, doc_id)
+            if not found:
+                return False
+            self.num_tuples -= 1
+            node.children[quadrant] = SummaryInfo.of_tuples(self.eta, remaining)
+            if ptr.count == 0:
+                node.child_ptrs[quadrant] = None
+            node.own = SummaryInfo.combine(self.eta, node.children)
+            self.head.write(node_id, node)
+            descendant_own = node.own
+            for ancestor_id, ancestor, through in reversed(path):
+                ancestor.children[through] = descendant_own.copy()
+                ancestor.own = SummaryInfo.combine(self.eta, ancestor.children)
+                self.head.write(ancestor_id, ancestor)
+                descendant_own = ancestor.own
+            return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, query: TopKQuery, ranker: Optional[Ranker] = None) -> List[ScoredDoc]:
+        """Answer a top-k spatial keyword query (Algorithm 4)."""
+        if ranker is None:
+            ranker = Ranker(self.space)
+        return self._processor.search(query, ranker)
+
+    def iter_query(self, query: TopKQuery, ranker: Optional[Ranker] = None):
+        """Stream matching documents best-first, without a k bound.
+
+        A lazy generator: consuming n results costs no more I/O than a
+        top-n query.  ``query.k`` is ignored.
+        """
+        if ranker is None:
+            ranker = Ranker(self.space)
+        return self._processor.iter_search(query, ranker)
+
+    def range_query(self, region: Rect, words, semantics=None) -> List[ScoredDoc]:
+        """All documents inside ``region`` matching ``words``.
+
+        The region-constrained variant of spatial keyword search (the
+        paper's Section 2 first query family).  Scores are the textual
+        relevance (matched weight sums); ordering is score-descending.
+        """
+        from repro.model.query import Semantics
+
+        if semantics is None:
+            semantics = Semantics.OR
+        return self._processor.range_search(region, words, semantics)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self):
+        """Structural snapshot (see :mod:`repro.core.introspect`)."""
+        from repro.core.introspect import describe
+
+        return describe(self)
+
+    def size_breakdown(self) -> Dict[str, int]:
+        """Bytes per component — the paper's Table 5 columns for I3."""
+        return {
+            "lookup": self.lookup.size_bytes,
+            "head": self.head.size_bytes,
+            "data": self.data.size_bytes,
+        }
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-disk size."""
+        return sum(self.size_breakdown().values())
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used heavily by the test suite.
+
+        - every stored tuple is reachable through exactly one keyword cell,
+        - non-dense cells fit one page (except at the depth limit),
+        - summary counts equal the sum over children,
+        - summary signatures contain every reachable doc id,
+        - ``max_s`` is an upper bound on reachable weights.
+        """
+        reached = 0
+        for word, entry in self.lookup.items():
+            if not entry.dense:
+                cell = entry.target
+                tuples = self.data.read_cell(cell)
+                assert len(tuples) == cell.count, f"count drift in root cell of {word!r}"
+                assert cell.count <= self.capacity or self.max_depth == 0
+                reached += len(tuples)
+                continue
+            reached += self._check_node(word, entry.target, ROOT_CELL, 0)
+        assert reached == self.num_tuples, (
+            f"reached {reached} tuples, expected {self.num_tuples}"
+        )
+
+    def _check_node(self, word: str, node_id: int, cell_id: int, level: int) -> int:
+        node = self.head._nodes[node_id]  # bypass I/O counters
+        assert node.cell == cell_id, f"node {node_id} cell mismatch"
+        total = 0
+        child_sum = SummaryInfo.empty(self.eta)
+        for quadrant, ptr in enumerate(node.child_ptrs):
+            info = node.children[quadrant]
+            if ptr is None:
+                assert info.count == 0, "absent child with non-zero count"
+                continue
+            child_id = child_cell(cell_id, quadrant)
+            rect = self.grid.rect(child_id)
+            if isinstance(ptr, int):
+                total += self._check_node(word, ptr, child_id, level + 1)
+                child_node = self.head._nodes[ptr]
+                assert child_node.own.count == info.count, "stale child summary"
+            else:
+                tuples = self.data.read_cell(ptr)
+                assert len(tuples) == ptr.count == info.count, (
+                    f"cell count drift for {word!r} in cell {child_id}"
+                )
+                assert len(ptr.pages) <= 1 or level + 1 >= self.max_depth, (
+                    "multi-page cell above the depth limit"
+                )
+                for record in tuples:
+                    assert rect.contains_point(record.x, record.y)
+                    assert info.sig.might_contain(record.doc_id), (
+                        "signature lost a doc id"
+                    )
+                    assert record.weight <= info.max_s + 1e-9, "max_s undershoots"
+                total += len(tuples)
+        for info in node.children:
+            child_sum.sig = child_sum.sig.union(info.sig)
+            child_sum.max_s = max(child_sum.max_s, info.max_s)
+            child_sum.count += info.count
+        assert node.own.count == child_sum.count == total, (
+            f"own count {node.own.count} != children {child_sum.count} != {total}"
+        )
+        assert node.own.max_s >= child_sum.max_s - 1e-9
+        return total

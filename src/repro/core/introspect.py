@@ -1,0 +1,107 @@
+"""Structural introspection of an I3 index.
+
+Operational visibility for a deployed index: how many keywords are
+dense, how deep their quadtree decompositions go, how full the data
+pages are, how saturated the signatures are.  These are the quantities
+a DBA would watch to decide on page size and signature length (the
+paper's P and eta knobs), and the test suite uses them to characterise
+generated corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.core.headfile import CellPages
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import I3Index
+
+__all__ = ["IndexReport", "describe"]
+
+
+@dataclass
+class IndexReport:
+    """A structural snapshot of one I3 index."""
+
+    num_documents: int
+    num_tuples: int
+    num_keywords: int
+    num_dense_keywords: int
+    num_summary_nodes: int
+    num_keyword_cells: int
+    max_cell_depth: int
+    depth_histogram: Dict[int, int] = field(default_factory=dict)
+    data_pages: int = 0
+    page_utilisation: float = 0.0
+    mean_signature_saturation: float = 0.0
+    size_breakdown: Dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        depth_line = ", ".join(
+            f"d{depth}:{count}" for depth, count in sorted(self.depth_histogram.items())
+        )
+        return "\n".join(
+            [
+                f"documents            {self.num_documents:,}",
+                f"tuples               {self.num_tuples:,}",
+                f"keywords             {self.num_keywords:,} "
+                f"({self.num_dense_keywords:,} dense)",
+                f"summary nodes        {self.num_summary_nodes:,}",
+                f"keyword cells        {self.num_keyword_cells:,} "
+                f"(max depth {self.max_cell_depth}; {depth_line})",
+                f"data pages           {self.data_pages:,} "
+                f"({self.page_utilisation:.0%} slots used)",
+                f"signature saturation {self.mean_signature_saturation:.1%} mean",
+                "sizes                "
+                + ", ".join(f"{k}={v:,}B" for k, v in self.size_breakdown.items()),
+            ]
+        )
+
+
+def describe(index: "I3Index") -> IndexReport:
+    """Build an :class:`IndexReport` for ``index`` (no I/O counted)."""
+    dense_keywords = 0
+    cells = 0
+    depth_histogram: Dict[int, int] = {}
+    saturations: List[float] = []
+
+    def record_cell(depth: int) -> None:
+        nonlocal cells
+        cells += 1
+        depth_histogram[depth] = depth_histogram.get(depth, 0) + 1
+
+    def walk(node_id: int, depth: int) -> None:
+        node = index.head._nodes[node_id]
+        saturations.append(node.own.sig.saturation)
+        for ptr in node.child_ptrs:
+            if isinstance(ptr, int):
+                walk(ptr, depth + 1)
+            elif isinstance(ptr, CellPages) and ptr.count:
+                record_cell(depth + 1)
+
+    for _, entry in index.lookup.items():
+        if entry.dense:
+            dense_keywords += 1
+            walk(entry.target, 0)
+        elif entry.target.count:
+            record_cell(0)
+
+    return IndexReport(
+        num_documents=index.num_documents,
+        num_tuples=index.num_tuples,
+        num_keywords=len(index.lookup),
+        num_dense_keywords=dense_keywords,
+        num_summary_nodes=index.head.num_nodes,
+        num_keyword_cells=cells,
+        max_cell_depth=max(depth_histogram, default=0),
+        depth_histogram=depth_histogram,
+        data_pages=index.data.num_pages,
+        page_utilisation=index.data.utilisation,
+        mean_signature_saturation=(
+            sum(saturations) / len(saturations) if saturations else 0.0
+        ),
+        size_breakdown=index.size_breakdown(),
+    )

@@ -1,0 +1,243 @@
+"""I3's data file: keyword-cell storage over slotted pages (Section 4.3.3).
+
+The data file is a sequence of fixed-size pages, each split into
+``P/B`` 32-byte tuple slots.  The governing invariants are the paper's:
+
+* all tuples of one keyword cell live in **one** page, so fetching a
+  cell costs one I/O (the sole exception: cells at the maximum quadtree
+  depth may chain pages, see :class:`~repro.core.headfile.CellPages`);
+* **different** keyword cells may share a page — each cell's tuples are
+  tagged with its unique *source id*, and readers filter a loaded page
+  by source id;
+* the tuples of an inverted list need not be contiguous or ordered, so
+  cells move and grow without shifting anything else.
+
+This module owns those mechanics: creating cells, growing a cell inside
+its page or relocating it to a roomier page ("find a page with at least
+|O|+1 empty slots", Algorithms 2-3), deleting from and dissolving cells.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.headfile import CellPages
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.records import StoredTuple, TupleCodec
+from repro.storage.slotted import SlottedFile
+
+__all__ = ["DataFile"]
+
+
+class DataFile:
+    """Keyword-cell level operations on the slotted tuple file."""
+
+    def __init__(
+        self,
+        stats: Optional[IOStats] = None,
+        component: str = "i3.data",
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pages: Optional[int] = None,
+    ) -> None:
+        self.file = PageFile(page_size=page_size, stats=stats, component=component)
+        self.buffer: Optional[BufferPool] = (
+            BufferPool(self.file, capacity=buffer_pages) if buffer_pages else None
+        )
+        store = self.buffer if self.buffer is not None else self.file
+        self.slotted = SlottedFile(store, TupleCodec.size)
+        self._next_source = 1
+
+    def clear_cache(self) -> None:
+        """Flush and drop the buffer pool, if one is attached — the
+        paper's "clear the system cache" step before a query set."""
+        if self.buffer is not None:
+            self.buffer.clear()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum tuples per keyword cell: the paper's P/B."""
+        return self.slotted.slots_per_page
+
+    def new_source_id(self) -> int:
+        """A fresh, never-reused source id (0 is the empty-slot marker)."""
+        source_id = self._next_source
+        self._next_source += 1
+        return source_id
+
+    # ------------------------------------------------------------------
+    # Cell lifecycle
+    # ------------------------------------------------------------------
+    def create_cell(self, tuples: Sequence[StoredTuple]) -> CellPages:
+        """Materialise a new keyword cell holding ``tuples``.
+
+        Assigns a fresh source id (incoming source ids are ignored) and
+        places the tuples in a single page when they fit — preferring the
+        fullest page with room, which is what lets unrelated cells share
+        pages — or in a page chain when the cell exceeds capacity (only
+        legal for maximum-depth cells; the index layer guarantees that).
+        """
+        cell = CellPages(source_id=self.new_source_id())
+        remaining = [self._stamp(t, cell.source_id) for t in tuples]
+        if len(remaining) <= self.capacity:
+            if remaining:
+                page = self.slotted.page_with_free(len(remaining))
+                self.slotted.insert_many(page, [TupleCodec.encode(t) for t in remaining])
+                cell.pages = [page]
+        else:
+            while remaining:
+                page = self.slotted.page_with_free(1)
+                chunk_size = min(self.slotted.free_count(page), len(remaining))
+                chunk, remaining = remaining[:chunk_size], remaining[chunk_size:]
+                self.slotted.insert_many(page, [TupleCodec.encode(t) for t in chunk])
+                cell.pages.append(page)
+        cell.count = len(tuples)
+        return cell
+
+    def read_cell(self, cell: CellPages) -> List[StoredTuple]:
+        """All tuples of a cell (one I/O per page of the cell)."""
+        out: List[StoredTuple] = []
+        for page in cell.pages:
+            for _, payload in self.slotted.read_records(page):
+                record = TupleCodec.decode(payload)
+                if record.source_id == cell.source_id:
+                    out.append(record)
+        return out
+
+    def dissolve_cell(self, cell: CellPages) -> List[StoredTuple]:
+        """Remove a cell from its pages and return its tuples.
+
+        Used when a cell turns dense: its tuples are redistributed into
+        child cells.  Pages are never deallocated — their freed slots are
+        reused by later insertions, the paper's reuse policy.
+        """
+        out: List[StoredTuple] = []
+        for page in cell.pages:
+            doomed = []
+            for slot, payload in self.slotted.read_records(page):
+                record = TupleCodec.decode(payload)
+                if record.source_id == cell.source_id:
+                    out.append(record)
+                    doomed.append(slot)
+            if doomed:
+                self.slotted.delete_many(page, doomed)
+        cell.pages = []
+        cell.count = 0
+        return out
+
+    # ------------------------------------------------------------------
+    # Tuple operations within a cell
+    # ------------------------------------------------------------------
+    def insert_into_cell(
+        self, cell: CellPages, record: StoredTuple, allow_overflow: bool = False
+    ) -> None:
+        """Insert one tuple into an existing non-dense keyword cell.
+
+        Follows Algorithms 2-3's non-splitting branches: use a free slot
+        of the cell's page if there is one, otherwise relocate the whole
+        cell to a page with ``count + 1`` free slots.  With
+        ``allow_overflow`` (maximum-depth cells) a full cell chains a new
+        page instead of relocating.
+        """
+        stamped = self._stamp(record, cell.source_id)
+        if not allow_overflow and cell.count >= self.capacity:
+            raise ValueError(
+                f"cell with source id {cell.source_id} is at capacity "
+                f"{self.capacity}; the index layer must split it instead"
+            )
+        for page in cell.pages:
+            if self.slotted.free_count(page) > 0:
+                self.slotted.insert(page, TupleCodec.encode(stamped))
+                cell.count += 1
+                return
+        if not cell.pages:
+            page = self.slotted.page_with_free(1)
+            self.slotted.insert(page, TupleCodec.encode(stamped))
+            cell.pages = [page]
+            cell.count = 1
+            return
+        if allow_overflow and cell.count >= self.capacity:
+            page = self.slotted.page_with_free(1)
+            self.slotted.insert(page, TupleCodec.encode(stamped))
+            cell.pages.append(page)
+            cell.count += 1
+            return
+        # The cell's page is full with tuples of several cells: move this
+        # cell (|O| tuples) plus the new one to a roomier page.
+        moved = self.dissolve_cell(cell)
+        moved.append(stamped)
+        page = self.slotted.page_with_free(len(moved))
+        self.slotted.insert_many(page, [TupleCodec.encode(t) for t in moved])
+        cell.pages = [page]
+        cell.count = len(moved)
+
+    def delete_from_cell(self, cell: CellPages, doc_id: int) -> bool:
+        """Delete the tuple of ``doc_id`` from a cell, if present."""
+        found, _ = self.delete_and_collect(cell, doc_id)
+        return found
+
+    def delete_and_collect(
+        self, cell: CellPages, doc_id: int
+    ) -> tuple[bool, List[StoredTuple]]:
+        """Delete ``doc_id``'s tuple and return the cell's survivors.
+
+        One read (plus at most one write) per page of the cell — the
+        deletion and the rescan that rebuilds the cell's summary E
+        (Section 4.5) share the same page image.
+        """
+
+        def doomed(payload: bytes) -> bool:
+            record = TupleCodec.decode(payload)
+            return record.source_id == cell.source_id and record.doc_id == doc_id
+
+        found = False
+        remaining: List[StoredTuple] = []
+        for page in cell.pages:
+            deleted, kept = self.slotted.scan_and_delete(page, doomed)
+            found = found or bool(deleted)
+            for _, payload in kept:
+                record = TupleCodec.decode(payload)
+                if record.source_id == cell.source_id:
+                    remaining.append(record)
+        if found:
+            cell.count -= 1
+            if cell.count == 0:
+                cell.pages = []
+        return found, remaining
+
+    # ------------------------------------------------------------------
+    # Helpers and introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stamp(record: StoredTuple, source_id: int) -> StoredTuple:
+        if record.source_id == source_id:
+            return record
+        return StoredTuple(
+            doc_id=record.doc_id,
+            x=record.x,
+            y=record.y,
+            weight=record.weight,
+            source_id=source_id,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk size of the data file."""
+        return self.file.size_bytes
+
+    @property
+    def num_pages(self) -> int:
+        """Pages allocated in the data file."""
+        return self.file.num_pages
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of allocated slots in use (Table 5's storage story)."""
+        return self.slotted.utilisation
+
+    def scan_all(self) -> Iterable[StoredTuple]:
+        """Every live tuple in the file (diagnostics and tests; counted I/O)."""
+        for page in range(self.file.num_pages):
+            for _, payload in self.slotted.read_records(page):
+                yield TupleCodec.decode(payload)

@@ -1,0 +1,79 @@
+"""I3's lookup table: the per-keyword portal (Section 4.3.1).
+
+The lookup table maps each keyword to a boolean *dense* flag plus an
+offset: into the head file when the keyword is dense in the root cell
+(the offset locates its root summary node) or into the data file when it
+is not (the offset locates the single page — exceptionally, page chain —
+holding all its tuples).
+
+The paper loads the table into memory for query processing "as it is
+quite small"; accesses are therefore free of I/O, but the table's disk
+footprint still counts toward index size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.core.headfile import CellPages
+
+__all__ = ["LookupEntry", "LookupTable"]
+
+
+@dataclass(slots=True)
+class LookupEntry:
+    """One keyword's portal entry.
+
+    Attributes:
+        target: Head-file node id (``int``) when the keyword is dense in
+            the root cell, else the :class:`~repro.core.headfile.CellPages`
+            of its only keyword cell.
+    """
+
+    target: Union[int, CellPages]
+
+    @property
+    def dense(self) -> bool:
+        """Whether the keyword is dense in the root cell."""
+        return isinstance(self.target, int)
+
+
+class LookupTable:
+    """In-memory keyword -> (dense flag, offset) map with size accounting."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, LookupEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._entries
+
+    def get(self, word: str) -> Optional[LookupEntry]:
+        """The entry for ``word``, or ``None`` if the keyword is unknown."""
+        return self._entries.get(word)
+
+    def set_dense(self, word: str, node_id: int) -> None:
+        """Mark ``word`` dense in the root cell, pointing at its summary node."""
+        self._entries[word] = LookupEntry(target=node_id)
+
+    def set_non_dense(self, word: str, cell: CellPages) -> None:
+        """Point ``word`` at the data page(s) of its single keyword cell."""
+        self._entries[word] = LookupEntry(target=cell)
+
+    def remove(self, word: str) -> None:
+        """Drop a keyword whose last tuple was deleted."""
+        del self._entries[word]
+
+    def items(self) -> Iterator[Tuple[str, LookupEntry]]:
+        """All ``(word, entry)`` pairs."""
+        return iter(self._entries.items())
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialised size: per word, its text + flag byte + 8-byte offset."""
+        return sum(len(w) + 1 + 1 + 8 for w in self._entries)

@@ -1,0 +1,245 @@
+"""Binary persistence for the I3 index.
+
+Serialises all three components — the data file's raw pages, the head
+file's summary nodes and the lookup table — into a single
+versioned, struct-packed file (no pickle; the format is stable and
+language-agnostic).  Loading reconstructs the in-memory metadata the
+on-disk image implies: slot occupancy is recovered by scanning pages
+for the reserved empty pattern, exactly how the paper's data file
+distinguishes valid tuples.
+
+Limitations (checked, not silent): only the default ``id mod eta``
+signature hash is supported, and I/O counters restart from zero on
+load (they describe a session, not the index).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, List, Union
+
+from repro.core.headfile import CellPages, SummaryInfo, SummaryNode
+from repro.core.index import I3Index
+from repro.spatial.geometry import Rect
+from repro.storage.records import TupleCodec
+from repro.text.signature import Signature
+
+__all__ = ["save_index", "load_index", "MAGIC", "FORMAT_VERSION"]
+
+MAGIC = b"I3IX"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<4sHIIIQQI4d")
+_E_FIXED = struct.Struct("<fI")
+_PTR_NONE, _PTR_NODE, _PTR_CELL = 0, 1, 2
+
+
+def save_index(index: I3Index, path: str) -> None:
+    """Write the index to ``path`` in the I3IX v1 format."""
+    with open(path, "wb") as fh:
+        _write(index, fh)
+
+
+def load_index(path: str) -> I3Index:
+    """Read an index previously written by :func:`save_index`."""
+    with open(path, "rb") as fh:
+        return _read(fh)
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+
+
+def _write(index: I3Index, fh: BinaryIO) -> None:
+    space = index.space
+    fh.write(
+        _HEADER.pack(
+            MAGIC,
+            FORMAT_VERSION,
+            index.eta,
+            index.data.file.page_size,
+            index.max_depth,
+            index.num_documents,
+            index.num_tuples,
+            index.data._next_source,
+            space.min_x,
+            space.min_y,
+            space.max_x,
+            space.max_y,
+        )
+    )
+    # Data file: raw page images.
+    pages = index.data.file.num_pages
+    fh.write(struct.pack("<I", pages))
+    for page_id in range(pages):
+        fh.write(index.data.file._pages[page_id])
+    # Head file: summary nodes.
+    fh.write(struct.pack("<I", index.head.num_nodes))
+    for node in index.head._nodes:
+        _write_node(fh, node, index.eta)
+    # Lookup table.
+    entries = list(index.lookup.items())
+    fh.write(struct.pack("<I", len(entries)))
+    for word, entry in entries:
+        _write_str(fh, word)
+        if entry.dense:
+            fh.write(struct.pack("<B", _PTR_NODE))
+            fh.write(struct.pack("<I", entry.target))
+        else:
+            fh.write(struct.pack("<B", _PTR_CELL))
+            _write_cell(fh, entry.target)
+
+
+def _write_str(fh: BinaryIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    fh.write(struct.pack("<H", len(raw)))
+    fh.write(raw)
+
+
+def _write_info(fh: BinaryIO, info: SummaryInfo, eta: int) -> None:
+    fh.write(info.sig._bits.to_bytes(info.sig.size_bytes, "little"))
+    fh.write(_E_FIXED.pack(info.max_s, info.count))
+
+
+def _write_cell(fh: BinaryIO, cell: CellPages) -> None:
+    fh.write(struct.pack("<IIH", cell.source_id, cell.count, len(cell.pages)))
+    for page in cell.pages:
+        fh.write(struct.pack("<I", page))
+
+
+def _write_node(fh: BinaryIO, node: SummaryNode, eta: int) -> None:
+    _write_str(fh, node.word)
+    fh.write(struct.pack("<Q", node.cell))
+    _write_info(fh, node.own, eta)
+    for info in node.children:
+        _write_info(fh, info, eta)
+    for ptr in node.child_ptrs:
+        if ptr is None:
+            fh.write(struct.pack("<B", _PTR_NONE))
+        elif isinstance(ptr, int):
+            fh.write(struct.pack("<B", _PTR_NODE))
+            fh.write(struct.pack("<I", ptr))
+        else:
+            fh.write(struct.pack("<B", _PTR_CELL))
+            _write_cell(fh, ptr)
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+
+def _read(fh: BinaryIO) -> I3Index:
+    header = fh.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise ValueError("truncated I3 index file")
+    (
+        magic,
+        version,
+        eta,
+        page_size,
+        max_depth,
+        num_documents,
+        num_tuples,
+        next_source,
+        min_x,
+        min_y,
+        max_x,
+        max_y,
+    ) = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ValueError(f"not an I3 index file (magic {magic!r})")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported I3 index format version {version}")
+    index = I3Index(
+        Rect(min_x, min_y, max_x, max_y),
+        eta=eta,
+        page_size=page_size,
+        max_depth=max_depth,
+    )
+    index.num_documents = num_documents
+    index.num_tuples = num_tuples
+    index.data._next_source = next_source
+    # Data file pages, with slot occupancy rebuilt by scanning.
+    (pages,) = struct.unpack("<I", _must_read(fh, 4))
+    slotted = index.data.slotted
+    for _ in range(pages):
+        page_id = slotted.allocate_page()
+        image = _must_read(fh, page_size)
+        index.data.file._pages[page_id][:] = image
+        occupied = [
+            slot
+            for slot in range(slotted.slots_per_page)
+            if not TupleCodec.is_empty(
+                image[slot * TupleCodec.size : (slot + 1) * TupleCodec.size]
+            )
+        ]
+        free = set(range(slotted.slots_per_page)) - set(occupied)
+        slotted._set_free(page_id, free)
+    # Head file.
+    (num_nodes,) = struct.unpack("<I", _must_read(fh, 4))
+    for _ in range(num_nodes):
+        index.head._nodes.append(_read_node(fh, eta))
+    # Lookup table.
+    (num_words,) = struct.unpack("<I", _must_read(fh, 4))
+    for _ in range(num_words):
+        word = _read_str(fh)
+        (tag,) = struct.unpack("<B", _must_read(fh, 1))
+        if tag == _PTR_NODE:
+            (node_id,) = struct.unpack("<I", _must_read(fh, 4))
+            index.lookup.set_dense(word, node_id)
+        elif tag == _PTR_CELL:
+            index.lookup.set_non_dense(word, _read_cell(fh))
+        else:
+            raise ValueError(f"corrupt lookup entry tag {tag}")
+    index.stats.reset()
+    return index
+
+
+def _must_read(fh: BinaryIO, n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise ValueError("truncated I3 index file")
+    return data
+
+
+def _read_str(fh: BinaryIO) -> str:
+    (length,) = struct.unpack("<H", _must_read(fh, 2))
+    return _must_read(fh, length).decode("utf-8")
+
+
+def _read_info(fh: BinaryIO, eta: int) -> SummaryInfo:
+    size = (eta + 7) // 8
+    bits = int.from_bytes(_must_read(fh, size), "little")
+    max_s, count = _E_FIXED.unpack(_must_read(fh, _E_FIXED.size))
+    return SummaryInfo(sig=Signature(eta, bits=bits), max_s=max_s, count=count)
+
+
+def _read_cell(fh: BinaryIO) -> CellPages:
+    source_id, count, num_pages = struct.unpack("<IIH", _must_read(fh, 10))
+    pages = [
+        struct.unpack("<I", _must_read(fh, 4))[0] for _ in range(num_pages)
+    ]
+    return CellPages(source_id=source_id, pages=pages, count=count)
+
+
+def _read_node(fh: BinaryIO, eta: int) -> SummaryNode:
+    word = _read_str(fh)
+    (cell,) = struct.unpack("<Q", _must_read(fh, 8))
+    own = _read_info(fh, eta)
+    children = [_read_info(fh, eta) for _ in range(4)]
+    ptrs: List[Union[None, int, CellPages]] = []
+    for _ in range(4):
+        (tag,) = struct.unpack("<B", _must_read(fh, 1))
+        if tag == _PTR_NONE:
+            ptrs.append(None)
+        elif tag == _PTR_NODE:
+            ptrs.append(struct.unpack("<I", _must_read(fh, 4))[0])
+        elif tag == _PTR_CELL:
+            ptrs.append(_read_cell(fh))
+        else:
+            raise ValueError(f"corrupt child pointer tag {tag}")
+    return SummaryNode(
+        word=word, cell=cell, own=own, children=children, child_ptrs=ptrs
+    )

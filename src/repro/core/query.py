@@ -1,0 +1,387 @@
+"""I3 top-k query processing: best-first cell traversal (Algorithm 4).
+
+All keywords share one quadtree decomposition, so the search walks a
+single hierarchy of cells top-down.  A priority queue holds candidate
+cells ordered by their upper-bound score; each pop either finalises the
+cell (no query keyword is dense there any more — every relevant tuple
+has been fetched and the documents get their exact scores) or *zooms*:
+creates one candidate per child cell, moving each dense query keyword
+either down the summary-node chain (still dense in the child) or into
+the candidate's document accumulators (its child keyword cell is fetched
+from the data file with one page I/O).
+
+The traversal terminates when the best remaining upper bound no longer
+beats delta, the current k-th score.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.core.and_semantics import AndSemantics
+from repro.core.candidates import Candidate, DenseRef, DocAccumulator
+from repro.core.headfile import CellPages
+from repro.core.or_semantics import OrSemantics
+from repro.model.query import Semantics, TopKQuery
+from repro.model.results import ScoredDoc, TopKCollector
+from repro.model.scoring import Ranker
+from repro.spatial.cells import ROOT_CELL, child_cell
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import I3Index
+
+__all__ = ["I3QueryProcessor", "QueryTrace", "SpatialFilter"]
+
+
+class SpatialFilter:
+    """A spatial predicate restricting query results (e.g. a sector).
+
+    ``may_intersect`` must be conservative: returning True for a cell
+    that contains no qualifying point only costs work; returning False
+    for a cell that does would lose results.
+    """
+
+    def may_intersect(self, rect) -> bool:  # pragma: no cover - interface
+        """Whether the filter region could intersect ``rect``."""
+        raise NotImplementedError
+
+    def contains(self, x: float, y: float) -> bool:  # pragma: no cover
+        """Whether the point satisfies the filter exactly."""
+        raise NotImplementedError
+
+
+class QueryTrace:
+    """Diagnostics of one query run (candidates examined, cells pruned).
+
+    The benchmark harness reads I/O from the index's
+    :class:`~repro.storage.iostats.IOStats`; this trace captures the
+    algorithmic counters that I/O alone does not show.
+    """
+
+    __slots__ = ("candidates_pushed", "candidates_popped", "cells_pruned", "docs_scored")
+
+    def __init__(self) -> None:
+        self.candidates_pushed = 0
+        self.candidates_popped = 0
+        self.cells_pruned = 0
+        self.docs_scored = 0
+
+
+class I3QueryProcessor:
+    """Executes top-k spatial keyword queries against an :class:`I3Index`."""
+
+    def __init__(self, index: "I3Index", or_lattice: bool = True) -> None:
+        self.index = index
+        self.or_lattice = or_lattice
+        self.last_trace: Optional[QueryTrace] = None
+
+    def search(
+        self,
+        query: TopKQuery,
+        ranker: Ranker,
+        spatial_filter: Optional["SpatialFilter"] = None,
+    ) -> List[ScoredDoc]:
+        """Answer ``query``; returns at most ``query.k`` scored documents.
+
+        ``spatial_filter`` optionally restricts results to an arbitrary
+        spatial predicate (e.g. a direction sector): cells the filter
+        rules out are skipped, documents it rejects are dropped at
+        scoring time.  The filter must be *conservative* on cells —
+        ``may_intersect(rect)`` may err toward True, never toward False.
+        """
+        trace = QueryTrace()
+        self.last_trace = trace
+        semantics = (
+            AndSemantics(self.index.eta)
+            if query.semantics is Semantics.AND
+            else OrSemantics(self.index.eta, use_lattice=self.or_lattice)
+        )
+        collector = TopKCollector(query.k)
+        root = self._root_candidate(query)
+        if root is None:
+            return []
+        counter = itertools.count()
+        heap: List[tuple] = []
+        self._consider(
+            root, query, ranker, semantics, collector, heap, counter, trace,
+            spatial_filter,
+        )
+        while heap:
+            neg_upper, _, candidate = heapq.heappop(heap)
+            trace.candidates_popped += 1
+            # Strictly below delta nothing can change the result set; an
+            # upper bound *equal* to delta is still expanded so that
+            # equal-score ties resolve by doc id exactly like the oracle.
+            if -neg_upper < collector.delta:
+                break
+            if candidate.is_resolved:
+                self._finalise(
+                    candidate, query, ranker, semantics, collector, trace,
+                    spatial_filter,
+                )
+                continue
+            self._expand(
+                candidate, query, ranker, semantics, collector, heap, counter,
+                trace, spatial_filter,
+            )
+        return collector.results()
+
+    # ------------------------------------------------------------------
+    # Incremental (streaming) search
+    # ------------------------------------------------------------------
+    def iter_search(self, query: TopKQuery, ranker: Ranker):
+        """Yield matching documents in decreasing score order, lazily.
+
+        The distance-browsing analogue of Algorithm 4: instead of a
+        fixed k, results stream out as soon as their exact score
+        dominates every remaining cell's upper bound, and cells are only
+        expanded when the consumer actually needs more results.  Useful
+        for "give me results until I say stop" interfaces; consuming
+        exactly k results touches no more pages than a k-query would.
+
+        ``query.k`` is ignored; ``query.semantics`` applies as usual.
+        """
+        semantics = (
+            AndSemantics(self.index.eta)
+            if query.semantics is Semantics.AND
+            else OrSemantics(self.index.eta, use_lattice=self.or_lattice)
+        )
+        root = self._root_candidate(query)
+        if root is None:
+            return
+        counter = itertools.count()
+        cells: List[tuple] = []  # max-heap of candidate cells by bound
+        ready: List[tuple] = []  # max-heap of exactly-scored documents
+        emitted: Set[int] = set()
+
+        def push_cell(candidate: Candidate) -> None:
+            if semantics.prune(candidate, query):
+                return
+            candidate.upper_score = semantics.upper_bound(
+                candidate, query, ranker, self.index.grid
+            )
+            heapq.heappush(
+                cells, (-candidate.upper_score, next(counter), candidate)
+            )
+
+        push_cell(root)
+        while cells or ready:
+            # Emit every ready document that strictly beats all remaining
+            # cell bounds (a tie is resolved by expanding the cell first,
+            # so equal-score results still come out in doc-id order).
+            while ready and (not cells or ready[0][0] < cells[0][0]):
+                neg_score, doc_id = heapq.heappop(ready)
+                if doc_id not in emitted:
+                    emitted.add(doc_id)
+                    yield ScoredDoc(score=-neg_score, doc_id=doc_id)
+            if not cells:
+                continue
+            _, _, candidate = heapq.heappop(cells)
+            if candidate.is_resolved:
+                for doc_id, acc in candidate.docs.items():
+                    if not semantics.document_qualifies(acc.words, query):
+                        continue
+                    score = ranker.score_partial(query, acc.x, acc.y, acc.weight_sum)
+                    heapq.heappush(ready, (-score, doc_id))
+                continue
+            for child in self._children_of(candidate, query):
+                push_cell(child)
+
+    # ------------------------------------------------------------------
+    # Region-constrained search (the Section 2 query family with a
+    # spatial range constraint instead of a top-k ranking)
+    # ------------------------------------------------------------------
+    def range_search(
+        self, region, words, semantics: Semantics = Semantics.OR
+    ) -> List[ScoredDoc]:
+        """All documents inside ``region`` matching ``words``.
+
+        Results carry the textual relevance (matched weight sum) as
+        their score and are ordered score-descending (doc id ascending
+        on ties).  Cells outside the region are skipped outright; under
+        AND semantics the signature-intersection prune of Algorithm 5
+        applies unchanged — region queries reuse the same summaries.
+        """
+        words = tuple(dict.fromkeys(words))
+        if not words:
+            return []
+        probe = TopKQuery(
+            region.center[0], region.center[1], words, k=1, semantics=semantics
+        )
+        strategy = (
+            AndSemantics(self.index.eta)
+            if semantics is Semantics.AND
+            else OrSemantics(self.index.eta)
+        )
+        root = self._root_candidate(probe)
+        if root is None:
+            return []
+        grid = self.index.grid
+        hits: List[ScoredDoc] = []
+        stack = [root]
+        while stack:
+            candidate = stack.pop()
+            if not region.intersects(grid.rect(candidate.cell)):
+                continue
+            if strategy.prune(candidate, probe):
+                continue
+            if candidate.is_resolved:
+                for doc_id, acc in candidate.docs.items():
+                    if not region.contains_point(acc.x, acc.y):
+                        continue
+                    if not strategy.document_qualifies(acc.words, probe):
+                        continue
+                    hits.append(ScoredDoc(score=acc.weight_sum, doc_id=doc_id))
+                continue
+            stack.extend(self._children_of(candidate, probe))
+        hits.sort(key=lambda h: (-h.score, h.doc_id))
+        return hits
+
+    def _children_of(self, candidate: Candidate, query: TopKQuery) -> List[Candidate]:
+        """Materialise the four child candidates (shared by both the
+        best-first top-k expansion and the region search)."""
+        nodes = {}
+        for word, ref in candidate.dense.items():
+            if ref.node is None:
+                ref.node = self.index.head.read(ref.node_id)
+            nodes[word] = ref.node
+        doc_groups: List[Dict[int, DocAccumulator]] = [{}, {}, {}, {}]
+        if candidate.docs:
+            rect = self.index.grid.rect(candidate.cell)
+            for doc_id, acc in candidate.docs.items():
+                doc_groups[rect.quadrant_of(acc.x, acc.y)][doc_id] = acc.copy()
+        children: List[Candidate] = []
+        for quadrant in range(4):
+            child_id = child_cell(candidate.cell, quadrant)
+            dense: Dict[str, DenseRef] = {}
+            docs = doc_groups[quadrant]
+            fetched: Set[str] = set(candidate.fetched)
+            for word, node in nodes.items():
+                ptr = node.child_ptrs[quadrant]
+                info = node.children[quadrant]
+                if isinstance(ptr, int) and info.count > 0:
+                    dense[word] = DenseRef(info=info, node_id=ptr)
+                elif ptr is None or isinstance(ptr, int) or info.count == 0:
+                    fetched.add(word)
+                else:
+                    fetched.add(word)
+                    self._fetch_cell(word, ptr, docs)
+            children.append(
+                Candidate(
+                    cell=child_id, dense=dense, docs=docs, fetched=frozenset(fetched)
+                )
+            )
+        return children
+
+    # ------------------------------------------------------------------
+    # Candidate creation
+    # ------------------------------------------------------------------
+    def _root_candidate(self, query: TopKQuery) -> Optional[Candidate]:
+        """Build the whole-space candidate from the lookup table."""
+        dense: Dict[str, DenseRef] = {}
+        docs: Dict[int, DocAccumulator] = {}
+        fetched: Set[str] = set()
+        for word in query.words:
+            entry = self.index.lookup.get(word)
+            if entry is None:
+                if query.semantics is Semantics.AND:
+                    return None  # a missing keyword empties an AND query
+                continue
+            if entry.dense:
+                node = self.index.head.read(entry.target)
+                if node.own.count == 0:
+                    if query.semantics is Semantics.AND:
+                        return None
+                    continue
+                dense[word] = DenseRef(
+                    info=node.own, node_id=entry.target, node=node
+                )
+            else:
+                fetched.add(word)
+                self._fetch_cell(word, entry.target, docs)
+        return Candidate(
+            cell=ROOT_CELL, dense=dense, docs=docs, fetched=frozenset(fetched)
+        )
+
+    def _fetch_cell(
+        self, word: str, cell: CellPages, docs: Dict[int, DocAccumulator]
+    ) -> None:
+        """Load a non-dense keyword cell into document accumulators."""
+        for record in self.index.data.read_cell(cell):
+            acc = docs.get(record.doc_id)
+            if acc is None:
+                acc = DocAccumulator(x=record.x, y=record.y)
+                docs[record.doc_id] = acc
+            acc.absorb(word, record.weight)
+
+    # ------------------------------------------------------------------
+    # Expansion (Algorithm 4, lines 12-24)
+    # ------------------------------------------------------------------
+    def _expand(
+        self,
+        candidate,
+        query,
+        ranker,
+        semantics,
+        collector,
+        heap,
+        counter,
+        trace,
+        spatial_filter=None,
+    ) -> None:
+        for child in self._children_of(candidate, query):
+            self._consider(
+                child, query, ranker, semantics, collector, heap, counter,
+                trace, spatial_filter,
+            )
+
+    def _consider(
+        self,
+        candidate,
+        query,
+        ranker,
+        semantics,
+        collector,
+        heap,
+        counter,
+        trace,
+        spatial_filter=None,
+    ) -> None:
+        """Prune-or-push a freshly created candidate (lines 21-24)."""
+        if spatial_filter is not None and not spatial_filter.may_intersect(
+            self.index.grid.rect(candidate.cell)
+        ):
+            trace.cells_pruned += 1
+            return
+        if semantics.prune(candidate, query):
+            trace.cells_pruned += 1
+            return
+        candidate.upper_score = semantics.upper_bound(
+            candidate, query, ranker, self.index.grid
+        )
+        if candidate.upper_score < collector.delta:
+            trace.cells_pruned += 1
+            return
+        trace.candidates_pushed += 1
+        heapq.heappush(heap, (-candidate.upper_score, next(counter), candidate))
+
+    # ------------------------------------------------------------------
+    # Finalisation (Algorithm 4, lines 6-10)
+    # ------------------------------------------------------------------
+    def _finalise(
+        self, candidate, query, ranker, semantics, collector, trace,
+        spatial_filter=None,
+    ) -> None:
+        """Score every accumulated document of a fully-fetched cell."""
+        for doc_id, acc in candidate.docs.items():
+            if not semantics.document_qualifies(acc.words, query):
+                continue
+            if spatial_filter is not None and not spatial_filter.contains(
+                acc.x, acc.y
+            ):
+                continue
+            score = ranker.score_partial(query, acc.x, acc.y, acc.weight_sum)
+            trace.docs_scored += 1
+            collector.offer(doc_id, score)

@@ -1,0 +1,31 @@
+"""Synthetic workloads: corpora, query logs, dataset statistics."""
+
+from repro.datasets.generators import (
+    Corpus,
+    SCALE_FACTOR,
+    TWITTER_SCALES,
+    TwitterLikeGenerator,
+    WikipediaLikeGenerator,
+    twitter_like,
+    wikipedia_like,
+)
+from repro.datasets.querylog import QueryLogGenerator, QuerySet
+from repro.datasets.stats import CorpusStats, corpus_stats, format_table2
+from repro.datasets.zipf import ZipfSampler, heaps_vocabulary_size
+
+__all__ = [
+    "Corpus",
+    "SCALE_FACTOR",
+    "TWITTER_SCALES",
+    "TwitterLikeGenerator",
+    "WikipediaLikeGenerator",
+    "twitter_like",
+    "wikipedia_like",
+    "QueryLogGenerator",
+    "QuerySet",
+    "CorpusStats",
+    "corpus_stats",
+    "format_table2",
+    "ZipfSampler",
+    "heaps_vocabulary_size",
+]

@@ -1,0 +1,59 @@
+"""Dataset statistics — the paper's Table 2.
+
+Table 2 reports, per dataset: the number of tuples (documents), the
+number of unique keywords, and the average number of keywords per
+document.  :func:`corpus_stats` computes the same row for a generated
+corpus so the scaled datasets can be checked against the originals'
+shape (vocabulary growth, document length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.datasets.generators import Corpus
+
+__all__ = ["CorpusStats", "corpus_stats", "format_table2"]
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusStats:
+    """One Table 2 row."""
+
+    name: str
+    num_documents: int
+    num_unique_keywords: int
+    avg_keywords_per_doc: float
+    num_tuples: int
+
+    def row(self) -> str:
+        """Render as a fixed-width table row."""
+        return (
+            f"{self.name:<16} {self.num_documents:>12,} "
+            f"{self.num_unique_keywords:>16,} {self.avg_keywords_per_doc:>10.3f}"
+        )
+
+
+def corpus_stats(corpus: Corpus) -> CorpusStats:
+    """Compute the Table 2 statistics of a corpus."""
+    total_keywords = sum(len(doc.terms) for doc in corpus.documents)
+    n = len(corpus.documents)
+    return CorpusStats(
+        name=corpus.name,
+        num_documents=n,
+        num_unique_keywords=len(corpus.vocabulary),
+        avg_keywords_per_doc=total_keywords / n if n else 0.0,
+        num_tuples=total_keywords,
+    )
+
+
+def format_table2(stats: List[CorpusStats]) -> str:
+    """Render a list of rows as the paper's Table 2 layout."""
+    header = (
+        f"{'DataSets':<16} {'#documents':>12} {'#unique keywords':>16} "
+        f"{'avg kw/doc':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    lines.extend(s.row() for s in stats)
+    return "\n".join(lines)

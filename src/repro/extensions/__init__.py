@@ -1,0 +1,12 @@
+"""Query-model extensions built on the core index (paper Section 2's
+related query families)."""
+
+from repro.extensions.collective import CollectiveResult, CollectiveSearcher
+from repro.extensions.direction import DirectionAwareSearcher, Sector
+
+__all__ = [
+    "CollectiveResult",
+    "CollectiveSearcher",
+    "DirectionAwareSearcher",
+    "Sector",
+]

@@ -1,0 +1,77 @@
+"""Top-k spatial keyword queries and their matching semantics.
+
+A query (paper Section 3) is
+
+    Q = <Q.lat, Q.lng, Q.terms, Q.k>
+
+plus a choice of semantics:
+
+* ``AND`` — a document is a candidate only if it contains *all* query
+  keywords ("spicy Chinese restaurant" with a strong preference);
+* ``OR``  — a document is a candidate if it contains *any* query keyword
+  (the general tf-idf-style case; more candidates to examine).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.model.document import SpatialDocument
+
+__all__ = ["Semantics", "TopKQuery"]
+
+
+class Semantics(enum.Enum):
+    """Keyword-matching semantics of a top-k spatial keyword query."""
+
+    AND = "and"
+    OR = "or"
+
+    def matches(self, query_words, doc: SpatialDocument) -> bool:
+        """Whether ``doc`` is a candidate for ``query_words`` under self."""
+        if self is Semantics.AND:
+            return doc.contains_all(query_words)
+        return doc.contains_any(query_words)
+
+
+@dataclass(frozen=True, slots=True)
+class TopKQuery:
+    """A top-k spatial keyword query.
+
+    Attributes:
+        x: Query location, horizontal coordinate.
+        y: Query location, vertical coordinate.
+        words: The query keywords (deduplicated, order-insensitive).
+        k: Number of results to return.
+        semantics: AND or OR keyword matching.
+    """
+
+    x: float
+    y: float
+    words: Tuple[str, ...]
+    k: int = 10
+    semantics: Semantics = Semantics.OR
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if not self.words:
+            raise ValueError("a query needs at least one keyword")
+        deduped = tuple(dict.fromkeys(self.words))
+        if len(deduped) != len(self.words):
+            object.__setattr__(self, "words", deduped)
+
+    @property
+    def location(self) -> Tuple[float, float]:
+        """The query's point location as an ``(x, y)`` pair."""
+        return (self.x, self.y)
+
+    def with_semantics(self, semantics: Semantics) -> "TopKQuery":
+        """A copy of this query using a different matching semantics."""
+        return TopKQuery(self.x, self.y, self.words, self.k, semantics)
+
+    def with_k(self, k: int) -> "TopKQuery":
+        """A copy of this query requesting ``k`` results."""
+        return TopKQuery(self.x, self.y, self.words, k, self.semantics)

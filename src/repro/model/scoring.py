@@ -1,0 +1,105 @@
+"""The ranking function shared by every index and the gold-standard scan.
+
+The paper (Section 3) ranks a candidate document ``D`` by
+
+    D.score = alpha * phi_s + (1 - alpha) * phi_t
+
+where ``phi_s`` is spatial proximity — "inversely proportional to the
+distance from the query location" — and ``phi_t`` is the tf-idf textual
+relevance, the sum of the document's term weights over the matched query
+keywords.  The paper leaves the exact proximity normalisation open; this
+reproduction uses
+
+    phi_s = max(0, 1 - dist(Q, D) / diagonal(space))
+
+which is 1 at the query point, 0 at the far corner of the data space, and
+— crucially for pruning — turns the MINDIST of any rectangle into an
+*admissible upper bound* on the spatial proximity of every point inside
+it.  All four indexes in this library (I3, IR-tree, S2I, naive scan) use
+this one :class:`Ranker`, so cross-index comparisons are score-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.document import SpatialDocument
+from repro.model.query import TopKQuery
+from repro.spatial.geometry import Rect, point_distance
+
+__all__ = ["Ranker"]
+
+
+@dataclass(frozen=True, slots=True)
+class Ranker:
+    """Combines spatial proximity and textual relevance into one score.
+
+    Attributes:
+        space: The data-space rectangle; its diagonal normalises distance.
+        alpha: Weight of the spatial component in ``[0, 1]``.
+    """
+
+    space: Rect
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.space.diagonal <= 0.0:
+            raise ValueError("data space must have a positive diagonal")
+
+    def with_alpha(self, alpha: float) -> "Ranker":
+        """A copy of this ranker with a different spatial weight."""
+        return Ranker(self.space, alpha)
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def spatial_proximity(self, qx: float, qy: float, x: float, y: float) -> float:
+        """Point-to-point spatial proximity ``phi_s`` in ``[0, 1]``."""
+        return max(0.0, 1.0 - point_distance(qx, qy, x, y) / self.space.diagonal)
+
+    def spatial_upper_bound(self, qx: float, qy: float, rect: Rect) -> float:
+        """Upper bound on ``phi_s`` over all points of ``rect``.
+
+        Uses MINDIST: no point inside the rectangle is closer to the
+        query, so no point can have higher proximity.
+        """
+        return max(0.0, 1.0 - rect.min_dist(qx, qy) / self.space.diagonal)
+
+    def textual_score(self, query_words, doc: SpatialDocument) -> float:
+        """Sum of the document's term weights over matched query words."""
+        return sum(doc.terms[w] for w in query_words if w in doc.terms)
+
+    def combine(self, phi_s: float, phi_t: float) -> float:
+        """The paper's linear combination ``alpha*phi_s + (1-alpha)*phi_t``."""
+        return self.alpha * phi_s + (1.0 - self.alpha) * phi_t
+
+    # ------------------------------------------------------------------
+    # Whole-document scoring
+    # ------------------------------------------------------------------
+    def score_document(self, query: TopKQuery, doc: SpatialDocument) -> Optional[float]:
+        """Score ``doc`` against ``query``, or ``None`` if not a candidate.
+
+        AND semantics requires all query keywords; OR semantics at least
+        one.  Non-candidates are never returned by any index, so they get
+        no score at all rather than a low one.
+        """
+        if not query.semantics.matches(query.words, doc):
+            return None
+        phi_s = self.spatial_proximity(query.x, query.y, doc.x, doc.y)
+        phi_t = self.textual_score(query.words, doc)
+        return self.combine(phi_s, phi_t)
+
+    def score_partial(
+        self, query: TopKQuery, x: float, y: float, matched_weight_sum: float
+    ) -> float:
+        """Score from a location plus an already-aggregated weight sum.
+
+        Used by indexes that accumulate per-keyword partial weights
+        (I3 candidate documents, S2I aggregation) instead of holding the
+        full document.
+        """
+        phi_s = self.spatial_proximity(query.x, query.y, x, y)
+        return self.combine(phi_s, matched_weight_sum)

@@ -1,0 +1,36 @@
+"""Spatial substrate: geometry, quadtree cells, R-tree, aR-tree."""
+
+from repro.spatial.artree import AggregatedRTree
+from repro.spatial.cells import (
+    CellGrid,
+    ROOT_CELL,
+    cell_level,
+    cell_path,
+    child_cell,
+    is_ancestor,
+    last_quadrant,
+    parent_cell,
+)
+from repro.spatial.geometry import Rect, UNIT_SQUARE, point_distance
+from repro.spatial.quadtree import PointQuadtree, QuadtreeStats
+from repro.spatial.rtree import REntry, RNode, RTree
+
+__all__ = [
+    "AggregatedRTree",
+    "CellGrid",
+    "ROOT_CELL",
+    "cell_level",
+    "cell_path",
+    "child_cell",
+    "is_ancestor",
+    "last_quadrant",
+    "parent_cell",
+    "Rect",
+    "UNIT_SQUARE",
+    "point_distance",
+    "PointQuadtree",
+    "QuadtreeStats",
+    "REntry",
+    "RNode",
+    "RTree",
+]

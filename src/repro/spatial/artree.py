@@ -1,0 +1,113 @@
+"""Aggregated R-tree (aR-tree) over one keyword's spatial tuples.
+
+S2I (Rocha-Junior et al. [17]) stores each *frequent* keyword in its own
+aggregated R-tree: a point R-tree whose internal entries carry the
+maximum term weight of their subtree (the OLAP-style augmentation of
+Papadias et al. [16]).  With that aggregate, an internal entry's
+*partial score bound*
+
+    u(e) = alpha * phi_s_upper(MBR) + (1 - alpha) * agg_max
+
+upper-bounds the partial score of every tuple below it, so a best-first
+traversal emits tuples in exactly decreasing partial-score order — the
+per-keyword *source* that S2I's multi-way aggregation consumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+from repro.spatial.geometry import Rect
+from repro.spatial.rtree import RTree
+from repro.storage.iostats import IOStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.document import SpatialTuple
+    from repro.model.scoring import Ranker
+
+__all__ = ["AggregatedRTree", "SourceHit"]
+
+SourceHit = Tuple[float, int, float, float, float]
+"""(partial_score, doc_id, x, y, term_weight) as emitted by a source."""
+
+
+class AggregatedRTree:
+    """A max-weight aggregated R-tree for one keyword's tuple set.
+
+    Attributes:
+        word: The keyword this tree indexes.
+        tree: The underlying paged R-tree (leaf payloads are doc ids,
+            leaf/internal aggregates are term weights).
+    """
+
+    def __init__(
+        self,
+        word: str,
+        stats: Optional[IOStats] = None,
+        component: str = "s2i.tree",
+        page_size: int = DEFAULT_PAGE_SIZE,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        self.word = word
+        self.tree = RTree(
+            stats=stats,
+            component=component,
+            page_size=page_size,
+            max_entries=max_entries,
+        )
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, t: SpatialTuple) -> None:
+        """Insert one spatial tuple of this keyword."""
+        if t.word != self.word:
+            raise ValueError(f"tuple keyword {t.word!r} != tree keyword {self.word!r}")
+        self.tree.insert_point(t.x, t.y, t.doc_id, weight=t.weight)
+
+    def delete(self, t: SpatialTuple) -> bool:
+        """Delete one spatial tuple; returns whether it was present."""
+        return self.tree.delete_point(t.x, t.y, t.doc_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def max_weight(self) -> float:
+        """Maximum term weight in the tree (no I/O; root aggregate)."""
+        root = self.tree.pager._objects[self.tree.root_id]
+        return root.agg() if root is not None and root.entries else 0.0
+
+    def iter_best(self, ranker: Ranker, qx: float, qy: float) -> Iterator[SourceHit]:
+        """Yield tuples in decreasing partial-score order.
+
+        The partial score of a tuple is the full ranking function applied
+        as if this keyword were the document's only matched keyword:
+        ``alpha*phi_s + (1-alpha)*weight``.  Consuming a prefix of this
+        iterator reads only the node pages that prefix required.
+        """
+        alpha = ranker.alpha
+
+        def internal_bound(mbr: Rect, agg: float) -> float:
+            return alpha * ranker.spatial_upper_bound(qx, qy, mbr) + (1 - alpha) * agg
+
+        def leaf_score(entry) -> float:
+            phi_s = ranker.spatial_proximity(qx, qy, entry.mbr.min_x, entry.mbr.min_y)
+            return alpha * phi_s + (1 - alpha) * entry.agg
+
+        for score, entry in self.tree.best_first(internal_bound, leaf_score):
+            yield (score, entry.payload, entry.mbr.min_x, entry.mbr.min_y, entry.agg)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk size of this keyword's tree file."""
+        return self.tree.size_bytes
+
+    @property
+    def num_nodes(self) -> int:
+        """Pages (= nodes) allocated by this tree."""
+        return self.tree.pager.num_pages

@@ -1,0 +1,138 @@
+"""Quadtree cell identifiers and the shared space decomposition.
+
+I3's central design decision (paper Section 4.2) is that *every* keyword
+uses the same Quadtree decomposition of the data space, so cells of
+different keywords line up exactly and can be joined during query
+processing.  This module provides that shared decomposition as pure cell
+*arithmetic* — no tree nodes are materialised; a cell is an integer.
+
+A cell id encodes the path of quadrant choices from the root:
+
+    root = 1                      (a sentinel high bit)
+    child(c, q) = (c << 2) | q    for quadrant q in 0..3
+
+so e.g. ``0b1_10_01`` is "from the root, quadrant 2 (NW), then quadrant
+1 (SE)".  The encoding makes parent/child/level computations bit tricks
+and gives every cell of every level a distinct id — which I3 uses as the
+basis of keyword-cell identity.
+
+Quadrants are ordered SW(0), SE(1), NW(2), NE(3), matching
+:meth:`repro.spatial.geometry.Rect.quadrants`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.spatial.geometry import Rect
+
+__all__ = [
+    "ROOT_CELL",
+    "child_cell",
+    "parent_cell",
+    "cell_level",
+    "cell_path",
+    "last_quadrant",
+    "is_ancestor",
+    "CellGrid",
+]
+
+ROOT_CELL = 1
+"""The id of the root cell — the whole data space."""
+
+
+def child_cell(cell: int, quadrant: int) -> int:
+    """Id of the ``quadrant``-th child (0-3) of ``cell``."""
+    if not 0 <= quadrant <= 3:
+        raise ValueError(f"quadrant must be 0-3, got {quadrant}")
+    return (cell << 2) | quadrant
+
+
+def parent_cell(cell: int) -> int:
+    """Id of the parent cell; the root has no parent."""
+    if cell <= ROOT_CELL:
+        raise ValueError("the root cell has no parent")
+    return cell >> 2
+
+
+def cell_level(cell: int) -> int:
+    """Depth of the cell: 0 for the root, +1 per quadrant step."""
+    if cell < ROOT_CELL:
+        raise ValueError(f"invalid cell id {cell}")
+    return (cell.bit_length() - 1) // 2
+
+
+def last_quadrant(cell: int) -> int:
+    """Which quadrant of its parent this cell occupies."""
+    if cell <= ROOT_CELL:
+        raise ValueError("the root cell occupies no quadrant")
+    return cell & 0b11
+
+
+def cell_path(cell: int) -> Tuple[int, ...]:
+    """The root-to-cell sequence of quadrant choices."""
+    path = []
+    while cell > ROOT_CELL:
+        path.append(cell & 0b11)
+        cell >>= 2
+    return tuple(reversed(path))
+
+
+def is_ancestor(ancestor: int, cell: int) -> bool:
+    """Whether ``ancestor`` lies on the root path of ``cell`` (or equals it)."""
+    diff = cell_level(cell) - cell_level(ancestor)
+    return diff >= 0 and (cell >> (2 * diff)) == ancestor
+
+
+class CellGrid:
+    """Maps cell ids of a concrete data space to rectangles.
+
+    One grid instance is shared by an index and its query processor; it
+    memoises cell rectangles because query processing touches the same
+    upper-level cells for every query.
+    """
+
+    __slots__ = ("space", "_rects")
+
+    def __init__(self, space: Rect) -> None:
+        self.space = space
+        self._rects: Dict[int, Rect] = {ROOT_CELL: space}
+
+    def rect(self, cell: int) -> Rect:
+        """The rectangle covered by ``cell``."""
+        cached = self._rects.get(cell)
+        if cached is not None:
+            return cached
+        rect = self.rect(parent_cell(cell)).quadrants()[last_quadrant(cell)]
+        self._rects[cell] = rect
+        return rect
+
+    def children(self, cell: int) -> Tuple[int, int, int, int]:
+        """The four child cell ids, quadrant order."""
+        base = cell << 2
+        return (base, base | 1, base | 2, base | 3)
+
+    def quadrant_of(self, cell: int, x: float, y: float) -> int:
+        """Quadrant index of ``cell`` containing the point."""
+        return self.rect(cell).quadrant_of(x, y)
+
+    def child_containing(self, cell: int, x: float, y: float) -> int:
+        """Id of the child cell containing the point."""
+        return child_cell(cell, self.quadrant_of(cell, x, y))
+
+    def cell_at(self, x: float, y: float, level: int) -> int:
+        """Id of the level-``level`` cell containing the point."""
+        if not self.space.contains_point(x, y):
+            raise ValueError(f"point ({x}, {y}) outside the data space")
+        cell = ROOT_CELL
+        for _ in range(level):
+            cell = self.child_containing(cell, x, y)
+        return cell
+
+    def walk_down(self, x: float, y: float) -> Iterator[int]:
+        """Yield the infinite root-to-point chain of cells (take what you
+        need — callers stop once their keyword cell is no longer dense)."""
+        cell = ROOT_CELL
+        while True:
+            yield cell
+            cell = self.child_containing(cell, x, y)

@@ -1,0 +1,189 @@
+"""Planar geometry primitives shared by every index in the library.
+
+The whole library works on axis-aligned rectangles and points in a
+user-supplied data space.  The two operations that matter for top-k
+search are Euclidean point distance and the *minimum* distance from a
+query point to a rectangle — the latter gives the admissible spatial
+upper bound used when scoring quadtree cells and R-tree MBRs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+__all__ = ["Rect", "point_distance", "UNIT_SQUARE"]
+
+
+def point_distance(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(x1 - x2, y1 - y2)
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Rectangles are used both as quadtree cell extents (always non-empty
+    squares obtained by recursive quartering) and as R-tree MBRs (grown to
+    fit entries).  All operations treat the rectangle as closed, so a
+    point on the boundary is contained and has distance zero.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"degenerate rectangle {self!r}")
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Horizontal extent."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Vertical extent."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle."""
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        """Perimeter (margin) of the rectangle."""
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the rectangle's diagonal — the maximum distance
+        between any two of its points, used to normalise spatial scores."""
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """The rectangle's center point."""
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """Whether the (closed) rectangle contains the point."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` lies entirely inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two (closed) rectangles share at least one point."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def min_dist(self, x: float, y: float) -> float:
+        """Minimum Euclidean distance from ``(x, y)`` to the rectangle.
+
+        Zero when the point lies inside.  This is the classical MINDIST of
+        R-tree nearest-neighbour search; because no point of the rectangle
+        is closer, it yields admissible (never underestimating distance,
+        hence never overestimating proximity... strictly: never
+        *under*-scoring-pruning) spatial upper bounds.
+        """
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def max_dist(self, x: float, y: float) -> float:
+        """Maximum Euclidean distance from ``(x, y)`` to the rectangle."""
+        dx = max(abs(x - self.min_x), abs(x - self.max_x))
+        dy = max(abs(y - self.min_y), abs(y - self.max_y))
+        return math.hypot(dx, dy)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def quadrants(self) -> Tuple["Rect", "Rect", "Rect", "Rect"]:
+        """Split into four equal quadrants, ordered SW, SE, NW, NE.
+
+        The ordering (index = (y_half << 1) | x_half) is the convention
+        used throughout the quadtree cell machinery.
+        """
+        cx, cy = self.center
+        return (
+            Rect(self.min_x, self.min_y, cx, cy),  # 0: SW
+            Rect(cx, self.min_y, self.max_x, cy),  # 1: SE
+            Rect(self.min_x, cy, cx, self.max_y),  # 2: NW
+            Rect(cx, cy, self.max_x, self.max_y),  # 3: NE
+        )
+
+    def quadrant_of(self, x: float, y: float) -> int:
+        """Index (0-3) of the quadrant containing the point.
+
+        Points exactly on the split lines belong to the higher quadrant,
+        so every point maps to exactly one quadrant.
+        """
+        if not self.contains_point(x, y):
+            raise ValueError(f"point ({x}, {y}) outside {self!r}")
+        cx, cy = self.center
+        return (2 if y >= cy else 0) | (1 if x >= cx else 0)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both rectangles."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to also cover ``other`` (R-tree heuristic)."""
+        return self.union(other).area - self.area
+
+    @staticmethod
+    def around_point(x: float, y: float) -> "Rect":
+        """Degenerate (zero-area) rectangle at a point — an entry MBR."""
+        return Rect(x, y, x, y)
+
+    @staticmethod
+    def bounding(points: Iterable[Tuple[float, float]]) -> "Rect":
+        """Minimum bounding rectangle of a non-empty point collection."""
+        it: Iterator[Tuple[float, float]] = iter(points)
+        try:
+            x, y = next(it)
+        except StopIteration:
+            raise ValueError("cannot bound an empty point collection") from None
+        min_x = max_x = x
+        min_y = max_y = y
+        for x, y in it:
+            min_x = min(min_x, x)
+            max_x = max(max_x, x)
+            min_y = min(min_y, y)
+            max_y = max(max_y, y)
+        return Rect(min_x, min_y, max_x, max_y)
+
+
+UNIT_SQUARE = Rect(0.0, 0.0, 1.0, 1.0)
+"""The default data space used by the synthetic workload generators."""

@@ -1,0 +1,211 @@
+"""A point region quadtree (Finkel & Bentley [9]).
+
+This is the in-memory reference implementation of the space
+decomposition that I3 applies per keyword: a cell holds up to
+``capacity`` points and splits into four equal quadrants when it
+overflows.  I3 itself re-implements the decomposition on disk via
+keyword cells, but this standalone tree is used by the test suite as a
+behavioural oracle (the set of leaf cells produced for a point set must
+match the keyword cells I3 creates for a keyword with those point
+locations) and is part of the public API for purely spatial workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.spatial.cells import CellGrid, ROOT_CELL
+from repro.spatial.geometry import Rect, point_distance
+
+__all__ = ["PointQuadtree", "QuadtreeStats"]
+
+V = TypeVar("V")
+
+
+@dataclass(slots=True)
+class _Node(Generic[V]):
+    """One quadtree cell: either a leaf holding points or four children."""
+
+    cell: int
+    points: Optional[List[Tuple[float, float, V]]]
+    children: Optional[List["_Node[V]"]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+@dataclass(frozen=True, slots=True)
+class QuadtreeStats:
+    """Structural statistics of a quadtree."""
+
+    num_points: int
+    num_leaves: int
+    num_internal: int
+    max_depth: int
+
+
+class PointQuadtree(Generic[V]):
+    """A region quadtree over 2-D points with attached values.
+
+    Attributes:
+        space: The root cell's rectangle; every inserted point must lie
+            inside it.
+        capacity: Maximum points per leaf before it splits.
+        max_depth: Hard depth limit; a leaf at this depth never splits,
+            so duplicate (or near-duplicate) points cannot recurse
+            forever.
+    """
+
+    def __init__(self, space: Rect, capacity: int = 128, max_depth: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        self.space = space
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self.grid = CellGrid(space)
+        self._root: _Node[V] = _Node(cell=ROOT_CELL, points=[])
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, x: float, y: float, value: V) -> None:
+        """Insert one point; splits leaves that exceed capacity."""
+        if not self.space.contains_point(x, y):
+            raise ValueError(f"point ({x}, {y}) outside the data space")
+        node = self._root
+        depth = 0
+        while not node.is_leaf:
+            node = node.children[self.grid.quadrant_of(node.cell, x, y)]
+            depth += 1
+        node.points.append((x, y, value))
+        self._count += 1
+        while len(node.points) > self.capacity and depth < self.max_depth:
+            node = self._split(node)
+            if node is None:
+                break
+            depth += 1
+
+    def _split(self, leaf: _Node[V]) -> Optional[_Node[V]]:
+        """Split a leaf; returns the child that still overflows, if any."""
+        children = [
+            _Node(cell=c, points=[]) for c in self.grid.children(leaf.cell)
+        ]
+        for x, y, value in leaf.points:
+            children[self.grid.quadrant_of(leaf.cell, x, y)].points.append(
+                (x, y, value)
+            )
+        leaf.points = None
+        leaf.children = children
+        for child in children:
+            if len(child.points) > self.capacity:
+                return child
+        return None
+
+    def delete(self, x: float, y: float, match: Callable[[V], bool]) -> bool:
+        """Delete the first point at the leaf of ``(x, y)`` whose value
+        satisfies ``match``; returns whether anything was deleted.
+
+        Leaves are not merged back on underflow — the same policy as
+        I3's data file, where emptied pages are kept for reuse.
+        """
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[self.grid.quadrant_of(node.cell, x, y)]
+        for i, (px, py, value) in enumerate(node.points):
+            if px == x and py == y and match(value):
+                node.points.pop(i)
+                self._count -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, rect: Rect) -> Iterator[Tuple[float, float, V]]:
+        """Yield all points inside ``rect``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not rect.intersects(self.grid.rect(node.cell)):
+                continue
+            if node.is_leaf:
+                for x, y, value in node.points:
+                    if rect.contains_point(x, y):
+                        yield (x, y, value)
+            else:
+                stack.extend(node.children)
+
+    def nearest(self, x: float, y: float, n: int = 1) -> List[Tuple[float, V]]:
+        """The ``n`` nearest points as ``(distance, value)`` pairs.
+
+        Classic best-first search: a priority queue ordered by MINDIST
+        holds cells and points together; when a point reaches the front
+        no unexplored cell can contain anything closer.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        counter = 0  # tie-breaker so heap never compares nodes
+        heap: List[Tuple[float, int, object, bool]] = []
+        heap.append((0.0, counter, self._root, False))
+        out: List[Tuple[float, V]] = []
+        while heap and len(out) < n:
+            dist, _, item, is_point = heapq.heappop(heap)
+            if is_point:
+                out.append((dist, item))
+                continue
+            node = item
+            if node.is_leaf:
+                for px, py, value in node.points:
+                    counter += 1
+                    heap_entry = (point_distance(x, y, px, py), counter, value, True)
+                    heapq.heappush(heap, heap_entry)
+            else:
+                for child in node.children:
+                    counter += 1
+                    mind = self.grid.rect(child.cell).min_dist(x, y)
+                    heapq.heappush(heap, (mind, counter, child, False))
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def leaf_cells(self) -> List[Tuple[int, int]]:
+        """All leaf ``(cell_id, point_count)`` pairs, in cell-id order."""
+        out: List[Tuple[int, int]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append((node.cell, len(node.points)))
+            else:
+                stack.extend(node.children)
+        return sorted(out)
+
+    def stats(self) -> QuadtreeStats:
+        """Structural statistics (used by tests and diagnostics)."""
+        leaves = internal = 0
+        max_depth = 0
+        stack: List[Tuple[_Node[V], int]] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            max_depth = max(max_depth, depth)
+            if node.is_leaf:
+                leaves += 1
+            else:
+                internal += 1
+                stack.extend((c, depth + 1) for c in node.children)
+        return QuadtreeStats(
+            num_points=self._count,
+            num_leaves=leaves,
+            num_internal=internal,
+            max_depth=max_depth,
+        )

@@ -1,0 +1,141 @@
+"""Per-component I/O accounting.
+
+The paper's evaluation reports I/O *counts* broken down by index
+component — e.g. Figure 8/9 split I3 cost into head-file vs data-file
+accesses, and IR-tree cost into tree-node vs inverted-file accesses.
+Every page store in this library is tagged with a component name and
+records its reads and writes here, so any experiment can ask "how many
+head-file pages did that query touch?".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["IOStats", "IOSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class IOSnapshot:
+    """An immutable point-in-time copy of the counters.
+
+    Subtracting two snapshots gives the I/O incurred between them, which
+    is how the benchmark harness attributes cost to individual queries.
+    """
+
+    reads: Dict[str, int] = field(default_factory=dict)
+    writes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_reads(self) -> int:
+        """Sum of page reads over all components."""
+        return sum(self.reads.values())
+
+    @property
+    def total_writes(self) -> int:
+        """Sum of page writes over all components."""
+        return sum(self.writes.values())
+
+    @property
+    def total(self) -> int:
+        """All I/O operations, reads plus writes."""
+        return self.total_reads + self.total_writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        reads = Counter(self.reads)
+        reads.subtract(other.reads)
+        writes = Counter(self.writes)
+        writes.subtract(other.writes)
+        return IOSnapshot(
+            reads={c: n for c, n in reads.items() if n},
+            writes={c: n for c, n in writes.items() if n},
+        )
+
+
+class IOStats:
+    """Mutable I/O counters keyed by component name.
+
+    One instance is shared by all page stores of one index so that a
+    single snapshot captures the index's whole I/O profile.
+    """
+
+    __slots__ = ("_reads", "_writes", "_unique_reads", "_unique_writes")
+
+    def __init__(self) -> None:
+        self._reads: Counter[str] = Counter()
+        self._writes: Counter[str] = Counter()
+        self._unique_reads: Dict[str, set] = {}
+        self._unique_writes: Dict[str, set] = {}
+
+    def record_read(self, component: str, pages: int = 1, key=None) -> None:
+        """Count ``pages`` page reads against ``component``.
+
+        ``key`` identifies the page (or node/block) touched; it feeds the
+        *unique-page* counters used by the update experiment, which
+        models the paper's buffer-then-flush methodology (a page read
+        twice within the window is one physical read).
+        """
+        self._reads[component] += pages
+        if key is not None:
+            self._unique_reads.setdefault(component, set()).add(key)
+
+    def record_write(self, component: str, pages: int = 1, key=None) -> None:
+        """Count ``pages`` page writes against ``component`` (see
+        :meth:`record_read` for ``key``)."""
+        self._writes[component] += pages
+        if key is not None:
+            self._unique_writes.setdefault(component, set()).add(key)
+
+    # ------------------------------------------------------------------
+    # Unique-page window (buffered-update model)
+    # ------------------------------------------------------------------
+    def reset_unique(self) -> None:
+        """Start a fresh unique-page window (the paper's "execute the
+        operations ... and finally flush the update back to disk")."""
+        self._unique_reads.clear()
+        self._unique_writes.clear()
+
+    def unique_reads(self, component: Optional[str] = None) -> int:
+        """Distinct pages read since the window started."""
+        if component is None:
+            return sum(len(s) for s in self._unique_reads.values())
+        return len(self._unique_reads.get(component, ()))
+
+    def unique_writes(self, component: Optional[str] = None) -> int:
+        """Distinct pages written since the window started — the pages a
+        final flush would put on disk."""
+        if component is None:
+            return sum(len(s) for s in self._unique_writes.values())
+        return len(self._unique_writes.get(component, ()))
+
+    def unique_total(self) -> int:
+        """Distinct pages touched (read or written) since the window."""
+        return self.unique_reads() + self.unique_writes()
+
+    def reads(self, component: Optional[str] = None) -> int:
+        """Reads for one component, or all components if ``None``."""
+        if component is None:
+            return sum(self._reads.values())
+        return self._reads[component]
+
+    def writes(self, component: Optional[str] = None) -> int:
+        """Writes for one component, or all components if ``None``."""
+        if component is None:
+            return sum(self._writes.values())
+        return self._writes[component]
+
+    def total(self) -> int:
+        """All I/O operations so far."""
+        return self.reads() + self.writes()
+
+    def reset(self) -> None:
+        """Zero every counter, including the unique-page window."""
+        self._reads.clear()
+        self._writes.clear()
+        self.reset_unique()
+
+    def snapshot(self) -> IOSnapshot:
+        """Immutable copy of the current counters."""
+        return IOSnapshot(reads=dict(self._reads), writes=dict(self._writes))

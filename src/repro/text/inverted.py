@@ -1,0 +1,91 @@
+"""Score-ordered in-memory inverted lists.
+
+The classic search-engine structure the paper departs from: one posting
+list per keyword, postings sorted by descending term weight.  In this
+library it serves three roles:
+
+* the per-node pseudo-document postings of the IR-tree baseline,
+* the flat-file inverted lists of S2I's infrequent keywords,
+* a pure-textual reference index in tests.
+
+It is intentionally memory-resident; disk placement and I/O accounting
+belong to the index that embeds it (each embedder decides how postings
+map onto pages, because that mapping is precisely what differs between
+the compared systems).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["Posting", "InvertedIndex"]
+
+Posting = Tuple[float, int]
+"""(term_weight, doc_id); lists are kept sorted by descending weight."""
+
+
+class InvertedIndex:
+    """Keyword -> weight-descending posting list."""
+
+    __slots__ = ("_lists",)
+
+    def __init__(self) -> None:
+        self._lists: Dict[str, List[Posting]] = {}
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._lists
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def add(self, word: str, doc_id: int, weight: float) -> None:
+        """Insert a posting, keeping the list weight-descending.
+
+        Uses ``bisect`` on negated weights so insertion stays O(log n)
+        for the search plus O(n) for the shift — the cost profile the
+        paper attributes to contiguity-preserving inverted files.
+        """
+        postings = self._lists.setdefault(word, [])
+        key = -weight
+        lo = bisect.bisect_left([-w for w, _ in postings], key)
+        # Within equal weights, keep doc ids ascending for determinism.
+        while lo < len(postings) and postings[lo][0] == weight and postings[lo][1] < doc_id:
+            lo += 1
+        postings.insert(lo, (weight, doc_id))
+
+    def remove(self, word: str, doc_id: int) -> bool:
+        """Remove the posting of ``doc_id`` under ``word`` if present."""
+        postings = self._lists.get(word)
+        if not postings:
+            return False
+        for i, (_, existing) in enumerate(postings):
+            if existing == doc_id:
+                postings.pop(i)
+                if not postings:
+                    del self._lists[word]
+                return True
+        return False
+
+    def postings(self, word: str) -> List[Posting]:
+        """The posting list of ``word`` (empty if absent), best first."""
+        return list(self._lists.get(word, ()))
+
+    def max_weight(self, word: str) -> float:
+        """Highest term weight under ``word`` (0.0 if absent) — the
+        pseudo-document entry IR-tree nodes store per keyword."""
+        postings = self._lists.get(word)
+        return postings[0][0] if postings else 0.0
+
+    def document_frequency(self, word: str) -> int:
+        """Number of postings under ``word``."""
+        return len(self._lists.get(word, ()))
+
+    def words(self) -> Iterator[str]:
+        """All indexed keywords."""
+        return iter(self._lists)
+
+    @property
+    def total_postings(self) -> int:
+        """Total postings across all keywords."""
+        return sum(len(p) for p in self._lists.values())

@@ -1,0 +1,67 @@
+"""Tokenisation of raw document text into keywords.
+
+The paper's corpora arrive as raw text (tweets, Wikipedia articles) that
+must be turned into weighted keyword sets.  This tokenizer performs the
+standard IR pipeline steps: lowercasing, alphanumeric token extraction,
+length filtering and stop-word removal.  It is deliberately simple —
+the indexes only ever see the resulting keyword multisets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List
+
+__all__ = ["Tokenizer", "DEFAULT_STOPWORDS"]
+
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a an and are as at be but by for from has have he her his i in is it its
+    me my not of on or our she so that the their them they this to was we
+    were will with you your
+    """.split()
+)
+"""A small English stop-word list, enough for the synthetic corpora."""
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+class Tokenizer:
+    """Splits text into normalised keyword tokens.
+
+    Attributes:
+        stopwords: Words dropped from the output.
+        min_length: Minimum token length kept (defaults to 2, dropping
+            single characters that carry no topical signal).
+        max_length: Maximum token length kept.
+    """
+
+    def __init__(
+        self,
+        stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+        min_length: int = 2,
+        max_length: int = 40,
+    ) -> None:
+        if min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {min_length}")
+        if max_length < min_length:
+            raise ValueError("max_length must be >= min_length")
+        self.stopwords = frozenset(w.lower() for w in stopwords)
+        self.min_length = min_length
+        self.max_length = max_length
+
+    def tokenize(self, text: str) -> List[str]:
+        """All kept tokens of ``text``, in order, duplicates preserved
+        (term frequency is computed downstream)."""
+        out = []
+        for token in _TOKEN_RE.findall(text.lower()):
+            if len(token) < self.min_length or len(token) > self.max_length:
+                continue
+            if token in self.stopwords:
+                continue
+            out.append(token)
+        return out
+
+    def keywords(self, text: str) -> List[str]:
+        """Distinct kept tokens of ``text``, first-occurrence order."""
+        return list(dict.fromkeys(self.tokenize(text)))

@@ -1,0 +1,49 @@
+"""Test helpers shared across the suite (importable as tests.helpers)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.model.document import SpatialDocument
+from repro.spatial.geometry import Rect, UNIT_SQUARE
+from repro.storage.records import f32
+
+DEFAULT_VOCAB = [
+    "spicy",
+    "chinese",
+    "restaurant",
+    "korean",
+    "pizza",
+    "sushi",
+    "bar",
+    "cafe",
+    "noodle",
+    "grill",
+]
+
+
+def make_documents(
+    count: int,
+    rng: random.Random,
+    vocab: Sequence[str] = DEFAULT_VOCAB,
+    space: Rect = UNIT_SQUARE,
+    min_words: int = 1,
+    max_words: int = 4,
+    start_id: int = 0,
+) -> List[SpatialDocument]:
+    """Random small documents with f32-exact weights inside ``space``."""
+    docs = []
+    for i in range(count):
+        n = rng.randint(min_words, min(max_words, len(vocab)))
+        words = rng.sample(list(vocab), n)
+        terms: Dict[str, float] = {w: f32(rng.uniform(0.05, 1.0)) for w in words}
+        x = rng.uniform(space.min_x, space.max_x)
+        y = rng.uniform(space.min_y, space.max_y)
+        docs.append(SpatialDocument(start_id + i, x, y, terms))
+    return docs
+
+
+def results_as_pairs(results) -> List[tuple]:
+    """Normalise ScoredDoc lists for exact comparison."""
+    return [(r.doc_id, round(r.score, 9)) for r in results]

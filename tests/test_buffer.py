@@ -1,0 +1,182 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.pager import PageFile
+
+
+def make_pool(capacity=2, page_size=16):
+    stats = IOStats()
+    file = PageFile(page_size=page_size, stats=stats, component="disk")
+    return BufferPool(file, capacity=capacity), stats
+
+
+class TestBufferPool:
+    def test_capacity_must_be_positive(self):
+        file = PageFile(page_size=16)
+        with pytest.raises(ValueError):
+            BufferPool(file, capacity=0)
+
+    def test_read_hit_costs_no_disk_io(self):
+        pool, stats = make_pool()
+        pid = pool.allocate()
+        pool.write(pid, b"abc")
+        stats.reset()
+        for _ in range(5):
+            assert pool.read(pid)[:3] == b"abc"
+        assert stats.reads("disk") == 0
+        assert pool.misses == 0
+
+    def test_cold_read_is_a_miss(self):
+        pool, stats = make_pool(capacity=1)
+        a = pool.allocate()
+        b = pool.allocate()  # evicts a (clean)
+        pool.read(a)
+        assert pool.misses == 1
+        assert stats.reads("disk") == 1
+
+    def test_dirty_eviction_writes_back(self):
+        pool, stats = make_pool(capacity=1)
+        a = pool.allocate()
+        pool.write(a, b"dirty")
+        pool.allocate()  # evicts a
+        assert stats.writes("disk") == 1
+        assert pool.file.read(a)[:5] == b"dirty"
+
+    def test_clean_eviction_no_writeback(self):
+        pool, stats = make_pool(capacity=1)
+        a = pool.allocate()
+        stats.reset()
+        pool.allocate()
+        assert stats.writes("disk") == 0
+
+    def test_lru_order(self):
+        pool, stats = make_pool(capacity=2)
+        a = pool.allocate()
+        b = pool.allocate()
+        pool.read(a)  # a is now most recent; b is LRU
+        pool.allocate()  # evicts b
+        stats.reset()
+        pool.read(a)
+        assert pool.misses == 0 and stats.reads("disk") == 0
+        pool.read(b)
+        assert stats.reads("disk") == 1
+
+    def test_flush_persists_without_dropping(self):
+        pool, stats = make_pool(capacity=4)
+        a = pool.allocate()
+        pool.write(a, b"data")
+        pool.flush()
+        assert pool.file.read(a)[:4] == b"data"
+        stats.reset()
+        pool.read(a)
+        assert stats.reads("disk") == 0  # still cached
+
+    def test_clear_makes_reads_cold(self):
+        pool, stats = make_pool(capacity=4)
+        a = pool.allocate()
+        pool.write(a, b"data")
+        pool.clear()
+        assert pool.cached_pages == 0
+        stats.reset()
+        assert pool.read(a)[:4] == b"data"
+        assert stats.reads("disk") == 1
+
+    def test_write_after_clear_then_read(self):
+        pool, _ = make_pool(capacity=2)
+        a = pool.allocate()
+        pool.write(a, b"v1")
+        pool.clear()
+        pool.write(a, b"v2")
+        pool.clear()
+        assert pool.read(a)[:2] == b"v2"
+
+    def test_oversized_write_rejected(self):
+        pool, _ = make_pool(page_size=8)
+        a = pool.allocate()
+        with pytest.raises(ValueError):
+            pool.write(a, b"123456789")
+
+    def test_hit_ratio(self):
+        pool, _ = make_pool(capacity=4)
+        a = pool.allocate()
+        pool.clear()
+        pool.read(a)   # miss
+        pool.read(a)   # hit
+        pool.read(a)   # hit
+        assert pool.hit_ratio == pytest.approx(2 / 3)
+
+    def test_pagefile_interface_parity(self):
+        pool, _ = make_pool()
+        assert pool.page_size == pool.file.page_size
+        pool.allocate()
+        assert pool.num_pages == pool.file.num_pages
+        assert pool.size_bytes == pool.file.size_bytes
+
+
+class TestBufferedI3:
+    """The optional I3 data-file buffer pool: hits are free, clear_cache
+    restores the paper's cold-cache measurement conditions."""
+
+    def test_warm_queries_cost_less_physical_io(self):
+        import random
+
+        from repro.core.index import I3Index
+        from repro.model.query import TopKQuery
+        from repro.model.scoring import Ranker
+        from repro.spatial.geometry import UNIT_SQUARE
+        from tests.helpers import make_documents
+
+        rng = random.Random(5)
+        index = I3Index(UNIT_SQUARE, page_size=256, buffer_pages=512)
+        for doc in make_documents(150, rng):
+            index.insert_document(doc)
+        ranker = Ranker(UNIT_SQUARE)
+        query = TopKQuery(0.5, 0.5, ("spicy", "restaurant"), k=10)
+
+        index.clear_cache()
+        index.stats.reset()
+        cold = index.query(query, ranker)
+        cold_io = index.stats.reads("i3.data")
+        index.stats.reset()
+        warm = index.query(query, ranker)
+        warm_io = index.stats.reads("i3.data")
+        assert [r.doc_id for r in cold] == [r.doc_id for r in warm]
+        assert warm_io < cold_io  # hot pages served from the pool
+
+        index.clear_cache()
+        index.stats.reset()
+        index.query(query, ranker)
+        assert index.stats.reads("i3.data") == cold_io  # cold again
+
+    def test_buffered_index_correctness(self):
+        import random
+
+        from repro.baselines.naive import NaiveScanIndex
+        from repro.core.index import I3Index
+        from repro.model.query import Semantics, TopKQuery
+        from repro.model.scoring import Ranker
+        from repro.spatial.geometry import UNIT_SQUARE
+        from tests.helpers import make_documents, results_as_pairs
+
+        rng = random.Random(9)
+        index = I3Index(UNIT_SQUARE, page_size=64, buffer_pages=4)  # tiny pool
+        naive = NaiveScanIndex()
+        docs = make_documents(120, rng)
+        for doc in docs:
+            index.insert_document(doc)
+            naive.insert_document(doc)
+        for doc in docs[::3]:
+            assert index.delete_document(doc)
+            naive.delete_document(doc)
+        index.check_invariants()
+        ranker = Ranker(UNIT_SQUARE)
+        for _ in range(20):
+            words = tuple(rng.sample(["spicy", "restaurant", "bar"], rng.randint(1, 2)))
+            semantics = rng.choice([Semantics.AND, Semantics.OR])
+            query = TopKQuery(rng.random(), rng.random(), words, k=6, semantics=semantics)
+            assert results_as_pairs(index.query(query, ranker)) == results_as_pairs(
+                naive.query(query, ranker)
+            )

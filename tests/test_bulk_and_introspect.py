@@ -1,0 +1,120 @@
+"""Tests for bulk loading and structural introspection of I3."""
+
+import pytest
+
+from repro.baselines.naive import NaiveScanIndex
+from repro.core.index import I3Index
+from repro.model.document import SpatialDocument
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import UNIT_SQUARE
+
+from tests.helpers import make_documents, results_as_pairs
+
+
+class TestBulkLoad:
+    def test_same_cell_structure_as_incremental(self, rng):
+        docs = make_documents(150, rng)
+        incremental = I3Index(UNIT_SQUARE, page_size=64)
+        for doc in docs:
+            incremental.insert_document(doc)
+        bulk = I3Index(UNIT_SQUARE, page_size=64)
+        bulk.bulk_load(docs)
+        bulk.check_invariants()
+        assert bulk.num_tuples == incremental.num_tuples
+        assert bulk.num_documents == incremental.num_documents
+        # The set of (word, dense?) decisions must match exactly.
+        inc_state = {w: e.dense for w, e in incremental.lookup.items()}
+        blk_state = {w: e.dense for w, e in bulk.lookup.items()}
+        assert inc_state == blk_state
+
+    def test_identical_query_results(self, rng):
+        docs = make_documents(200, rng)
+        bulk = I3Index(UNIT_SQUARE, page_size=64)
+        bulk.bulk_load(docs)
+        naive = NaiveScanIndex()
+        for doc in docs:
+            naive.insert_document(doc)
+        ranker = Ranker(UNIT_SQUARE, alpha=0.5)
+        for _ in range(25):
+            words = tuple(
+                rng.sample(["spicy", "restaurant", "pizza", "bar"], rng.randint(1, 3))
+            )
+            semantics = rng.choice([Semantics.AND, Semantics.OR])
+            query = TopKQuery(rng.random(), rng.random(), words, k=8, semantics=semantics)
+            assert results_as_pairs(bulk.query(query, ranker)) == results_as_pairs(
+                naive.query(query, ranker)
+            )
+
+    def test_cheaper_than_incremental(self, rng):
+        docs = make_documents(200, rng)
+        incremental = I3Index(UNIT_SQUARE, page_size=128)
+        for doc in docs:
+            incremental.insert_document(doc)
+        bulk = I3Index(UNIT_SQUARE, page_size=128)
+        bulk.bulk_load(docs)
+        assert bulk.stats.total() < incremental.stats.total()
+
+    def test_updates_after_bulk_load(self, rng):
+        docs = make_documents(80, rng)
+        index = I3Index(UNIT_SQUARE, page_size=64)
+        index.bulk_load(docs)
+        extra = make_documents(30, rng, start_id=1000)
+        for doc in extra:
+            index.insert_document(doc)
+        for doc in docs[::2]:
+            assert index.delete_document(doc)
+        index.check_invariants()
+
+    def test_requires_empty_index(self, rng):
+        docs = make_documents(5, rng)
+        index = I3Index(UNIT_SQUARE)
+        index.insert_document(docs[0])
+        with pytest.raises(ValueError):
+            index.bulk_load(docs[1:])
+
+    def test_rejects_out_of_space(self):
+        index = I3Index(UNIT_SQUARE)
+        with pytest.raises(ValueError):
+            index.bulk_load([SpatialDocument(1, 2.0, 0.5, {"a": 0.5})])
+
+    def test_empty_collection(self):
+        index = I3Index(UNIT_SQUARE)
+        index.bulk_load([])
+        assert index.num_documents == 0
+        assert index.num_tuples == 0
+
+
+class TestDescribe:
+    def test_report_fields(self, rng):
+        docs = make_documents(150, rng)
+        index = I3Index(UNIT_SQUARE, page_size=64)
+        for doc in docs:
+            index.insert_document(doc)
+        report = index.describe()
+        assert report.num_documents == 150
+        assert report.num_tuples == index.num_tuples
+        assert report.num_keywords == len(index.lookup)
+        assert report.num_dense_keywords > 0
+        assert report.num_summary_nodes == index.head.num_nodes
+        assert report.num_keyword_cells > 0
+        assert sum(report.depth_histogram.values()) == report.num_keyword_cells
+        assert report.max_cell_depth == max(report.depth_histogram)
+        assert 0.0 < report.page_utilisation <= 1.0
+        assert 0.0 < report.mean_signature_saturation <= 1.0
+        assert report.size_breakdown == index.size_breakdown()
+
+    def test_empty_index_report(self):
+        report = I3Index(UNIT_SQUARE).describe()
+        assert report.num_keyword_cells == 0
+        assert report.max_cell_depth == 0
+        assert report.mean_signature_saturation == 0.0
+
+    def test_render(self, rng):
+        docs = make_documents(50, rng)
+        index = I3Index(UNIT_SQUARE, page_size=64)
+        for doc in docs:
+            index.insert_document(doc)
+        text = index.describe().render()
+        assert "documents" in text and "keyword cells" in text
+        assert "50" in text

@@ -1,0 +1,124 @@
+"""Unit tests for quadtree cell-id arithmetic and the cell grid."""
+
+import pytest
+
+from repro.spatial.cells import (
+    CellGrid,
+    ROOT_CELL,
+    cell_level,
+    cell_path,
+    child_cell,
+    is_ancestor,
+    last_quadrant,
+    parent_cell,
+)
+from repro.spatial.geometry import Rect, UNIT_SQUARE
+
+
+class TestCellArithmetic:
+    def test_root_level_zero(self):
+        assert cell_level(ROOT_CELL) == 0
+
+    def test_child_parent_roundtrip(self):
+        for q in range(4):
+            child = child_cell(ROOT_CELL, q)
+            assert parent_cell(child) == ROOT_CELL
+            assert last_quadrant(child) == q
+            assert cell_level(child) == 1
+
+    def test_deep_path_roundtrip(self):
+        path = (2, 0, 3, 1, 1, 2)
+        cell = ROOT_CELL
+        for q in path:
+            cell = child_cell(cell, q)
+        assert cell_path(cell) == path
+        assert cell_level(cell) == len(path)
+
+    def test_invalid_quadrant(self):
+        with pytest.raises(ValueError):
+            child_cell(ROOT_CELL, 4)
+        with pytest.raises(ValueError):
+            child_cell(ROOT_CELL, -1)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            parent_cell(ROOT_CELL)
+        with pytest.raises(ValueError):
+            last_quadrant(ROOT_CELL)
+
+    def test_sibling_ids_distinct(self):
+        children = {child_cell(ROOT_CELL, q) for q in range(4)}
+        assert len(children) == 4
+
+    def test_ids_unique_across_levels(self):
+        # Collect all ids to depth 4 and check global uniqueness.
+        frontier = [ROOT_CELL]
+        seen = set(frontier)
+        for _ in range(4):
+            frontier = [child_cell(c, q) for c in frontier for q in range(4)]
+            for c in frontier:
+                assert c not in seen
+                seen.add(c)
+
+    def test_is_ancestor(self):
+        c = child_cell(child_cell(ROOT_CELL, 1), 2)
+        assert is_ancestor(ROOT_CELL, c)
+        assert is_ancestor(child_cell(ROOT_CELL, 1), c)
+        assert is_ancestor(c, c)
+        assert not is_ancestor(child_cell(ROOT_CELL, 0), c)
+        assert not is_ancestor(c, ROOT_CELL)
+
+
+class TestCellGrid:
+    def test_root_rect_is_space(self):
+        grid = CellGrid(UNIT_SQUARE)
+        assert grid.rect(ROOT_CELL) == UNIT_SQUARE
+
+    def test_child_rects_tile_parent(self):
+        grid = CellGrid(UNIT_SQUARE)
+        children = grid.children(ROOT_CELL)
+        total = sum(grid.rect(c).area for c in children)
+        assert total == pytest.approx(UNIT_SQUARE.area)
+        for c in children:
+            assert UNIT_SQUARE.contains_rect(grid.rect(c))
+
+    def test_non_unit_space(self):
+        space = Rect(-10.0, 5.0, 30.0, 25.0)
+        grid = CellGrid(space)
+        cell = grid.cell_at(-9.0, 6.0, 3)
+        rect = grid.rect(cell)
+        assert rect.contains_point(-9.0, 6.0)
+        assert rect.width == pytest.approx(space.width / 8)
+
+    def test_cell_at_contains_point_at_every_level(self):
+        grid = CellGrid(UNIT_SQUARE)
+        for level in range(0, 8):
+            cell = grid.cell_at(0.33, 0.77, level)
+            assert cell_level(cell) == level
+            assert grid.rect(cell).contains_point(0.33, 0.77)
+
+    def test_child_containing(self):
+        grid = CellGrid(UNIT_SQUARE)
+        child = grid.child_containing(ROOT_CELL, 0.9, 0.9)
+        assert child == child_cell(ROOT_CELL, 3)
+
+    def test_cell_at_outside_raises(self):
+        grid = CellGrid(UNIT_SQUARE)
+        with pytest.raises(ValueError):
+            grid.cell_at(1.5, 0.5, 2)
+
+    def test_walk_down_is_ancestor_chain(self):
+        grid = CellGrid(UNIT_SQUARE)
+        walk = grid.walk_down(0.21, 0.84)
+        cells = [next(walk) for _ in range(6)]
+        assert cells[0] == ROOT_CELL
+        for shallower, deeper in zip(cells, cells[1:]):
+            assert parent_cell(deeper) == shallower
+            assert grid.rect(deeper).contains_point(0.21, 0.84)
+
+    def test_rect_memoisation_consistency(self):
+        grid = CellGrid(UNIT_SQUARE)
+        deep = grid.cell_at(0.6, 0.6, 6)
+        first = grid.rect(deep)
+        again = grid.rect(deep)
+        assert first is again  # memoised

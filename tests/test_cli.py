@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.persistence import load_index
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    assert main(["generate", "--kind", "twitter", "--docs", "120",
+                 "--seed", "5", "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def index_file(tmp_path, corpus_file):
+    path = tmp_path / "corpus.i3ix"
+    assert main(["build", "--corpus", str(corpus_file), "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_jsonl(self, corpus_file):
+        lines = corpus_file.read_text().strip().splitlines()
+        assert len(lines) == 120
+        record = json.loads(lines[0])
+        assert set(record) == {"id", "x", "y", "terms"}
+        assert record["terms"]
+
+    def test_stdout_output(self, capsys):
+        assert main(["generate", "--docs", "5", "--out", "-"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+
+    def test_wikipedia_kind(self, tmp_path):
+        path = tmp_path / "wiki.jsonl"
+        assert main(["generate", "--kind", "wikipedia", "--docs", "10",
+                     "--out", str(path)]) == 0
+        record = json.loads(path.read_text().splitlines()[0])
+        assert len(record["terms"]) > 20  # long documents
+
+
+class TestBuild:
+    def test_builds_loadable_index(self, index_file):
+        index = load_index(str(index_file))
+        assert index.num_documents == 120
+        index.check_invariants()
+
+    def test_incremental_equals_bulk_results(self, tmp_path, corpus_file):
+        bulk = tmp_path / "bulk.i3ix"
+        incr = tmp_path / "incr.i3ix"
+        assert main(["build", "--corpus", str(corpus_file), "--out", str(bulk)]) == 0
+        assert main(["build", "--corpus", str(corpus_file), "--out", str(incr),
+                     "--incremental"]) == 0
+        a = load_index(str(bulk))
+        b = load_index(str(incr))
+        assert a.num_tuples == b.num_tuples
+        assert len(a.lookup) == len(b.lookup)
+
+    def test_explicit_space(self, tmp_path, corpus_file):
+        path = tmp_path / "spaced.i3ix"
+        assert main(["build", "--corpus", str(corpus_file), "--out", str(path),
+                     "--space", "0,0,1,1"]) == 0
+        assert load_index(str(path)).space.max_x == 1.0
+
+    def test_bad_corpus_line(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"id": 1}\n')
+        with pytest.raises(SystemExit):
+            main(["build", "--corpus", str(bad), "--out", str(tmp_path / "x.i3ix")])
+
+    def test_empty_corpus(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["build", "--corpus", str(empty), "--out", str(tmp_path / "x.i3ix")])
+
+
+class TestInfoAndQuery:
+    def test_info_renders_report(self, index_file, capsys):
+        assert main(["info", "--index", str(index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "documents" in out and "120" in out
+
+    def test_query_text_output(self, index_file, capsys):
+        assert main(["query", "--index", str(index_file), "--at", "0.5,0.5",
+                     "--words", "kw0 kw1", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "doc" in out and "score" in out
+
+    def test_query_json_output(self, index_file, capsys):
+        assert main(["query", "--index", str(index_file), "--at", "0.5,0.5",
+                     "--words", "kw0", "--k", "2", "--json"]) == 0
+        results = json.loads(capsys.readouterr().out)
+        assert len(results) <= 2
+        assert all({"doc_id", "score"} <= set(r) for r in results)
+
+    def test_query_and_semantics_subset(self, index_file, capsys):
+        assert main(["query", "--index", str(index_file), "--at", "0.5,0.5",
+                     "--words", "kw0 kw1 kw2", "--semantics", "and",
+                     "--k", "50", "--json"]) == 0
+        and_ids = {r["doc_id"] for r in json.loads(capsys.readouterr().out)}
+        assert main(["query", "--index", str(index_file), "--at", "0.5,0.5",
+                     "--words", "kw0 kw1 kw2", "--semantics", "or",
+                     "--k", "120", "--json"]) == 0
+        or_ids = {r["doc_id"] for r in json.loads(capsys.readouterr().out)}
+        assert and_ids <= or_ids
+
+    def test_bad_point(self, index_file):
+        with pytest.raises(SystemExit):
+            main(["query", "--index", str(index_file), "--at", "nope",
+                  "--words", "kw0"])
+
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,110 @@
+"""Unit tests for the raw-text facade (SpatialKeywordDatabase)."""
+
+import pytest
+
+from repro.db import SpatialKeywordDatabase
+from repro.model.query import Semantics
+from repro.spatial.geometry import Rect
+
+
+@pytest.fixture
+def db():
+    database = SpatialKeywordDatabase(page_size=64)
+    database.add(1, 0.30, 0.30, "Authentic Chinese restaurant downtown")
+    database.add(2, 0.70, 0.40, "Korean BBQ restaurant")
+    database.add(3, 0.70, 0.10, "Spicy chinese noodles, casual restaurant")
+    database.add(4, 0.60, 0.70, "Very SPICY wings restaurant!")
+    database.add(5, 0.20, 0.80, "Spicy Korean fried chicken restaurant")
+    return database
+
+
+class TestIngestion:
+    def test_add_tokenises_and_weighs(self, db):
+        doc = db.get(1)
+        assert "chinese" in doc.terms and "restaurant" in doc.terms
+        assert "Authentic" not in doc.terms  # lowercased
+        assert all(0 < w <= 1 for w in doc.terms.values())
+        assert len(db) == 5
+
+    def test_duplicate_id_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.add(1, 0.5, 0.5, "anything else")
+
+    def test_out_of_space_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.add(99, 1.5, 0.5, "far away diner")
+
+    def test_stopword_only_text_rejected(self):
+        db = SpatialKeywordDatabase()
+        with pytest.raises(ValueError):
+            db.add(1, 0.5, 0.5, "the of and")
+
+    def test_custom_space(self):
+        space = Rect(-180, -90, 180, 90)
+        db = SpatialKeywordDatabase(space=space)
+        db.add(1, 103.8, 1.35, "chili crab hawker centre")
+        hits = db.search(103.9, 1.3, "chili crab", k=1)
+        assert hits and hits[0].doc_id == 1
+
+
+class TestSearch:
+    def test_string_query_is_tokenised(self, db):
+        hits = db.search(0.45, 0.45, "SPICY restaurant!", k=5,
+                         semantics=Semantics.AND)
+        ids = {h.doc_id for h in hits}
+        assert ids == {3, 4, 5}  # exactly the spicy restaurants
+
+    def test_sequence_query(self, db):
+        hits = db.search(0.45, 0.45, ["korean"], k=5)
+        assert {h.doc_id for h in hits} == {2, 5}
+
+    def test_hits_carry_original_text(self, db):
+        [top, *_] = db.search(0.6, 0.7, "spicy wings", k=1)
+        assert top.doc_id == 4
+        assert "SPICY wings" in top.text
+        assert (top.x, top.y) == (0.60, 0.70)
+
+    def test_empty_query(self, db):
+        assert db.search(0.5, 0.5, "the of", k=3) == []
+
+    def test_alpha_override_changes_ranking(self, db):
+        spatial = db.search(0.70, 0.40, "spicy restaurant", k=1, alpha=1.0)
+        textual = db.search(0.70, 0.40, "spicy restaurant", k=1, alpha=0.0)
+        assert spatial[0].doc_id == 2  # the closest place
+        assert textual[0].doc_id != 2  # text-only ranking prefers spicy
+
+
+class TestLifecycle:
+    def test_remove(self, db):
+        assert db.remove(4)
+        assert not db.remove(4)
+        assert 4 not in db
+        hits = db.search(0.6, 0.7, "spicy", k=5)
+        assert all(h.doc_id != 4 for h in hits)
+        db.index.check_invariants()
+
+    def test_move_changes_ranking(self, db):
+        before = db.search(0.05, 0.05, "restaurant", k=1, alpha=1.0)
+        db.move(2, 0.05, 0.05)
+        after = db.search(0.05, 0.05, "restaurant", k=1, alpha=1.0)
+        assert after[0].doc_id == 2
+        assert before[0].doc_id != 2 or before[0].score < after[0].score
+        db.index.check_invariants()
+
+    def test_move_missing_or_outside(self, db):
+        with pytest.raises(KeyError):
+            db.move(99, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            db.move(1, 2.0, 0.5)
+
+    def test_reweigh_keeps_results_sane(self, db):
+        for i in range(10, 40):
+            db.add(i, 0.5 + (i % 5) / 100, 0.5, "generic pizza joint")
+        db.reweigh()
+        db.index.check_invariants()
+        hits = db.search(0.45, 0.45, "chinese restaurant", k=3)
+        assert hits and hits[0].doc_id in (1, 3)
+
+    def test_text_of(self, db):
+        assert "Korean BBQ" in db.text_of(2)
+        assert db.text_of(123) is None

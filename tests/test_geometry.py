@@ -1,0 +1,146 @@
+"""Unit tests for planar geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.spatial.geometry import Rect, UNIT_SQUARE, point_distance
+
+
+class TestPointDistance:
+    def test_zero_for_same_point(self):
+        assert point_distance(0.3, 0.7, 0.3, 0.7) == 0.0
+
+    def test_pythagorean_triple(self):
+        assert point_distance(0.0, 0.0, 3.0, 4.0) == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        assert point_distance(1, 2, 5, 9) == point_distance(5, 9, 1, 2)
+
+
+class TestRectBasics:
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_zero_area_point_rect_allowed(self):
+        r = Rect.around_point(0.5, 0.5)
+        assert r.area == 0.0
+        assert r.contains_point(0.5, 0.5)
+
+    def test_measures(self):
+        r = Rect(0.0, 0.0, 4.0, 3.0)
+        assert r.width == 4.0
+        assert r.height == 3.0
+        assert r.area == 12.0
+        assert r.perimeter == 14.0
+        assert r.diagonal == pytest.approx(5.0)
+        assert r.center == (2.0, 1.5)
+
+
+class TestContainmentAndIntersection:
+    def test_boundary_points_are_contained(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        assert r.contains_point(0.0, 0.0)
+        assert r.contains_point(1.0, 1.0)
+        assert r.contains_point(0.0, 1.0)
+
+    def test_outside_point(self):
+        assert not UNIT_SQUARE.contains_point(1.5, 0.5)
+        assert not UNIT_SQUARE.contains_point(0.5, -0.1)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(2, 2, 5, 5)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(outer)
+
+    def test_intersects_overlap_and_touch(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        touching = Rect(2, 0, 4, 2)
+        disjoint = Rect(5, 5, 6, 6)
+        assert a.intersects(b)
+        assert a.intersects(touching)  # closed rectangles share an edge
+        assert not a.intersects(disjoint)
+        assert disjoint.intersects(disjoint)
+
+
+class TestDistances:
+    def test_min_dist_inside_is_zero(self):
+        assert UNIT_SQUARE.min_dist(0.4, 0.6) == 0.0
+
+    def test_min_dist_side(self):
+        assert UNIT_SQUARE.min_dist(1.5, 0.5) == pytest.approx(0.5)
+
+    def test_min_dist_corner(self):
+        assert UNIT_SQUARE.min_dist(2.0, 2.0) == pytest.approx(math.sqrt(2.0))
+
+    def test_max_dist_from_center(self):
+        assert UNIT_SQUARE.max_dist(0.5, 0.5) == pytest.approx(math.sqrt(0.5))
+
+    def test_min_le_max(self):
+        r = Rect(0.2, 0.3, 0.8, 0.9)
+        for p in [(0.0, 0.0), (0.5, 0.5), (1.2, 0.1)]:
+            assert r.min_dist(*p) <= r.max_dist(*p)
+
+
+class TestQuadrants:
+    def test_quadrants_partition_area(self):
+        quads = UNIT_SQUARE.quadrants()
+        assert len(quads) == 4
+        assert sum(q.area for q in quads) == pytest.approx(UNIT_SQUARE.area)
+
+    def test_quadrant_order_sw_se_nw_ne(self):
+        sw, se, nw, ne = UNIT_SQUARE.quadrants()
+        assert sw.contains_point(0.1, 0.1)
+        assert se.contains_point(0.9, 0.1)
+        assert nw.contains_point(0.1, 0.9)
+        assert ne.contains_point(0.9, 0.9)
+
+    def test_quadrant_of_matches_quadrants(self):
+        quads = UNIT_SQUARE.quadrants()
+        for x, y in [(0.1, 0.1), (0.9, 0.2), (0.2, 0.8), (0.7, 0.7)]:
+            idx = UNIT_SQUARE.quadrant_of(x, y)
+            assert quads[idx].contains_point(x, y)
+
+    def test_split_line_points_go_to_upper_quadrant(self):
+        # Points exactly on the center lines belong to the higher index.
+        assert UNIT_SQUARE.quadrant_of(0.5, 0.5) == 3
+        assert UNIT_SQUARE.quadrant_of(0.5, 0.1) == 1
+        assert UNIT_SQUARE.quadrant_of(0.1, 0.5) == 2
+
+    def test_quadrant_of_outside_raises(self):
+        with pytest.raises(ValueError):
+            UNIT_SQUARE.quadrant_of(2.0, 0.5)
+
+
+class TestUnionAndEnlargement:
+    def test_union_covers_both(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(2, 2, 3, 3)
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+        assert u == Rect(0, 0, 3, 3)
+
+    def test_enlargement_zero_when_contained(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.enlargement(Rect(1, 1, 2, 2)) == 0.0
+
+    def test_enlargement_positive_when_outside(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.enlargement(Rect(2, 0, 3, 1)) == pytest.approx(2.0)
+
+
+class TestBounding:
+    def test_bounding_of_points(self):
+        r = Rect.bounding([(0.5, 0.5), (0.1, 0.9), (0.7, 0.2)])
+        assert r == Rect(0.1, 0.2, 0.7, 0.9)
+
+    def test_bounding_single_point(self):
+        assert Rect.bounding([(0.3, 0.4)]) == Rect(0.3, 0.4, 0.3, 0.4)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])

@@ -1,0 +1,106 @@
+"""Meta-tests: the structural checkers must actually detect corruption.
+
+`check_invariants` underpins most structural tests; these tests corrupt
+an index/tree on purpose and assert the checker notices, so a silent
+checker regression cannot quietly hollow out the rest of the suite.
+"""
+
+import random
+
+import pytest
+
+from repro.core.index import I3Index
+from repro.spatial.geometry import UNIT_SQUARE
+from repro.spatial.rtree import RTree
+
+from tests.helpers import make_documents
+
+
+@pytest.fixture
+def index(rng):
+    idx = I3Index(UNIT_SQUARE, page_size=64)
+    for doc in make_documents(80, rng):
+        idx.insert_document(doc)
+    idx.check_invariants()  # sane before corruption
+    return idx
+
+
+def find_dense_node(index):
+    for word, entry in index.lookup.items():
+        if entry.dense:
+            return index.head._nodes[entry.target]
+    pytest.skip("corpus produced no dense keyword")
+
+
+class TestI3Checker:
+    def test_detects_count_drift(self, index):
+        node = find_dense_node(index)
+        node.own.count += 1
+        with pytest.raises(AssertionError):
+            index.check_invariants()
+
+    def test_detects_lost_tuple_count(self, index):
+        index.num_tuples += 3
+        with pytest.raises(AssertionError):
+            index.check_invariants()
+
+    def test_detects_max_s_undershoot(self, index):
+        node = find_dense_node(index)
+        victim = next(
+            (i for i, c in enumerate(node.children) if c.count and not isinstance(
+                node.child_ptrs[i], int)),
+            None,
+        )
+        if victim is None:
+            pytest.skip("no leaf child under the root summary node")
+        node.children[victim].max_s = 0.0
+        with pytest.raises(AssertionError):
+            index.check_invariants()
+
+    def test_detects_signature_loss(self, index):
+        node = find_dense_node(index)
+        victim = next(
+            (i for i, c in enumerate(node.children) if c.count and not isinstance(
+                node.child_ptrs[i], int)),
+            None,
+        )
+        if victim is None:
+            pytest.skip("no leaf child under the root summary node")
+        node.children[victim].sig._bits = 0
+        with pytest.raises(AssertionError):
+            index.check_invariants()
+
+
+class TestRTreeChecker:
+    def make_tree(self):
+        rng = random.Random(8)
+        tree = RTree(max_entries=4)
+        for i in range(60):
+            tree.insert_point(rng.random(), rng.random(), i, weight=rng.random())
+        tree.check_invariants()
+        return tree
+
+    def test_detects_stale_mbr(self):
+        tree = self.make_tree()
+        root = tree.pager._objects[tree.root_id]
+        entry = root.entries[0]
+        from repro.spatial.geometry import Rect
+
+        entry.mbr = Rect(0.0, 0.0, 1e-6, 1e-6)
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+    def test_detects_stale_aggregate(self):
+        tree = self.make_tree()
+        root = tree.pager._objects[tree.root_id]
+        root.entries[0].agg += 5.0
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+    def test_detects_parent_pointer_break(self):
+        tree = self.make_tree()
+        root = tree.pager._objects[tree.root_id]
+        child = tree.pager._objects[root.entries[0].child]
+        child.parent = 999_999
+        with pytest.raises(AssertionError):
+            tree.check_invariants()

@@ -1,0 +1,57 @@
+"""Unit tests for the page-granular object store."""
+
+import pytest
+
+from repro.storage.iostats import IOStats
+from repro.storage.objectpager import ObjectPager
+
+
+class TestObjectPager:
+    def test_allocate_read_write(self):
+        pager = ObjectPager()
+        pid = pager.allocate({"a": 1})
+        assert pager.read(pid) == {"a": 1}
+        pager.write(pid, {"a": 2})
+        assert pager.read(pid) == {"a": 2}
+
+    def test_io_accounting(self):
+        stats = IOStats()
+        pager = ObjectPager(stats=stats, component="nodes")
+        pid = pager.allocate("x")
+        assert stats.writes("nodes") == 1  # allocation writes the page
+        pager.read(pid)
+        pager.read(pid)
+        pager.write(pid, "y")
+        assert stats.reads("nodes") == 2
+        assert stats.writes("nodes") == 2
+
+    def test_size_is_pages_times_page_size(self):
+        pager = ObjectPager(page_size=512)
+        pager.allocate("a")
+        pager.allocate("b")
+        assert pager.num_pages == 2
+        assert pager.size_bytes == 1024
+
+    def test_free_keeps_size_but_blocks_access(self):
+        pager = ObjectPager(page_size=256)
+        pid = pager.allocate("a")
+        pager.free(pid)
+        assert pager.size_bytes == 256  # freed pages stay on disk
+        assert pager.live_pages == 0
+        with pytest.raises(KeyError):
+            pager.read(pid)
+        with pytest.raises(KeyError):
+            pager.write(pid, "b")
+
+    def test_sizer_enforced(self):
+        pager = ObjectPager(page_size=10, sizer=len)
+        pager.allocate("short")
+        with pytest.raises(ValueError):
+            pager.allocate("x" * 11)
+
+    def test_ids_never_reused_after_free(self):
+        pager = ObjectPager()
+        a = pager.allocate("a")
+        pager.free(a)
+        b = pager.allocate("b")
+        assert b != a

@@ -1,0 +1,130 @@
+"""Unit tests for the point region quadtree."""
+
+import random
+
+import pytest
+
+from repro.spatial.geometry import Rect, UNIT_SQUARE, point_distance
+from repro.spatial.quadtree import PointQuadtree
+
+
+class TestInsertAndSplit:
+    def test_capacity_split(self):
+        qt = PointQuadtree(UNIT_SQUARE, capacity=2)
+        qt.insert(0.1, 0.1, "a")
+        qt.insert(0.9, 0.1, "b")
+        assert qt.stats().num_leaves == 1
+        qt.insert(0.1, 0.9, "c")  # overflow -> split
+        stats = qt.stats()
+        assert stats.num_leaves == 4
+        assert stats.num_internal == 1
+        assert stats.num_points == 3
+
+    def test_recursive_split_when_clustered(self):
+        qt = PointQuadtree(UNIT_SQUARE, capacity=2)
+        # All points in a tiny corner region force deep recursion.
+        pts = [(0.01 + i * 0.001, 0.01, i) for i in range(6)]
+        for x, y, v in pts:
+            qt.insert(x, y, v)
+        assert qt.stats().max_depth >= 3
+
+    def test_max_depth_caps_recursion(self):
+        qt = PointQuadtree(UNIT_SQUARE, capacity=1, max_depth=3)
+        for i in range(10):
+            qt.insert(0.5, 0.5, i)  # identical points can never separate
+        assert qt.stats().max_depth <= 3
+        assert len(qt) == 10
+
+    def test_out_of_space_rejected(self):
+        qt = PointQuadtree(UNIT_SQUARE, capacity=4)
+        with pytest.raises(ValueError):
+            qt.insert(1.5, 0.5, "x")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PointQuadtree(UNIT_SQUARE, capacity=0)
+        with pytest.raises(ValueError):
+            PointQuadtree(UNIT_SQUARE, capacity=4, max_depth=0)
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self):
+        rng = random.Random(17)
+        qt = PointQuadtree(UNIT_SQUARE, capacity=8)
+        points = [(rng.random(), rng.random(), i) for i in range(400)]
+        for x, y, v in points:
+            qt.insert(x, y, v)
+        for _ in range(25):
+            x1, x2 = sorted((rng.random(), rng.random()))
+            y1, y2 = sorted((rng.random(), rng.random()))
+            rect = Rect(x1, y1, x2, y2)
+            got = sorted(qt.range_query(rect))
+            want = sorted(p for p in points if rect.contains_point(p[0], p[1]))
+            assert got == want
+
+
+class TestNearest:
+    def test_single_nearest(self):
+        qt = PointQuadtree(UNIT_SQUARE, capacity=4)
+        qt.insert(0.1, 0.1, "far")
+        qt.insert(0.48, 0.52, "near")
+        [(d, v)] = qt.nearest(0.5, 0.5)
+        assert v == "near"
+        assert d == pytest.approx(point_distance(0.5, 0.5, 0.48, 0.52))
+
+    def test_knn_matches_brute_force(self):
+        rng = random.Random(23)
+        qt = PointQuadtree(UNIT_SQUARE, capacity=4)
+        points = [(rng.random(), rng.random(), i) for i in range(300)]
+        for x, y, v in points:
+            qt.insert(x, y, v)
+        qx, qy = 0.3, 0.7
+        got = qt.nearest(qx, qy, n=10)
+        want = sorted(
+            (point_distance(qx, qy, x, y), v) for x, y, v in points
+        )[:10]
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_n_larger_than_population(self):
+        qt = PointQuadtree(UNIT_SQUARE, capacity=4)
+        qt.insert(0.2, 0.2, 1)
+        qt.insert(0.4, 0.4, 2)
+        assert len(qt.nearest(0.0, 0.0, n=10)) == 2
+
+    def test_invalid_n(self):
+        qt = PointQuadtree(UNIT_SQUARE, capacity=4)
+        with pytest.raises(ValueError):
+            qt.nearest(0.5, 0.5, n=0)
+
+
+class TestDelete:
+    def test_delete_match_predicate(self):
+        qt = PointQuadtree(UNIT_SQUARE, capacity=4)
+        qt.insert(0.5, 0.5, "a")
+        qt.insert(0.5, 0.5, "b")
+        assert qt.delete(0.5, 0.5, lambda v: v == "b")
+        assert not qt.delete(0.5, 0.5, lambda v: v == "b")
+        assert len(qt) == 1
+        assert [v for _, _, v in qt.range_query(UNIT_SQUARE)] == ["a"]
+
+    def test_delete_after_split(self):
+        rng = random.Random(31)
+        qt = PointQuadtree(UNIT_SQUARE, capacity=2)
+        pts = [(rng.random(), rng.random(), i) for i in range(50)]
+        for x, y, v in pts:
+            qt.insert(x, y, v)
+        for x, y, v in pts:
+            assert qt.delete(x, y, lambda got, want=v: got == want)
+        assert len(qt) == 0
+
+
+class TestLeafCellsOracle:
+    def test_leaf_cells_cover_all_points(self):
+        rng = random.Random(41)
+        qt = PointQuadtree(UNIT_SQUARE, capacity=3)
+        for i in range(120):
+            qt.insert(rng.random(), rng.random(), i)
+        cells = qt.leaf_cells()
+        assert sum(count for _, count in cells) == 120
+        # No leaf exceeds capacity (depth limit not hit at this scale).
+        assert all(count <= 3 for _, count in cells)

@@ -1,0 +1,74 @@
+"""Tests for the query-processing diagnostics (QueryTrace) and the
+pruning behaviour they make observable."""
+
+import pytest
+
+from repro.core.index import I3Index
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import UNIT_SQUARE
+
+from tests.helpers import make_documents
+
+
+@pytest.fixture
+def loaded(rng):
+    index = I3Index(UNIT_SQUARE, page_size=64)
+    for doc in make_documents(250, rng):
+        index.insert_document(doc)
+    return index
+
+
+class TestQueryTrace:
+    def test_trace_populated(self, loaded):
+        ranker = Ranker(UNIT_SQUARE, 0.5)
+        loaded.query(TopKQuery(0.5, 0.5, ("restaurant",), k=5), ranker)
+        trace = loaded._processor.last_trace
+        assert trace.candidates_popped > 0
+        assert trace.docs_scored > 0
+        assert trace.candidates_pushed >= trace.candidates_popped - 1
+
+    def test_and_prunes_more_than_or(self, loaded):
+        """Conjunctive signatures prune cells the disjunctive search must
+        visit: AND must examine no more candidates than OR."""
+        ranker = Ranker(UNIT_SQUARE, 0.5)
+        words = ("spicy", "chinese", "restaurant")
+        loaded.query(
+            TopKQuery(0.5, 0.5, words, k=5, semantics=Semantics.AND), ranker
+        )
+        and_popped = loaded._processor.last_trace.candidates_popped
+        loaded.query(
+            TopKQuery(0.5, 0.5, words, k=5, semantics=Semantics.OR), ranker
+        )
+        or_popped = loaded._processor.last_trace.candidates_popped
+        assert and_popped <= or_popped
+
+    def test_small_k_prunes_more_than_large_k(self, loaded):
+        ranker = Ranker(UNIT_SQUARE, 0.5)
+        words = ("spicy", "restaurant")
+        loaded.query(TopKQuery(0.5, 0.5, words, k=1), ranker)
+        small = loaded._processor.last_trace.candidates_popped
+        loaded.query(TopKQuery(0.5, 0.5, words, k=200), ranker)
+        large = loaded._processor.last_trace.candidates_popped
+        assert small <= large
+
+    def test_missing_keyword_and_query_touches_nothing(self, loaded):
+        ranker = Ranker(UNIT_SQUARE, 0.5)
+        loaded.stats.reset()
+        out = loaded.query(
+            TopKQuery(0.5, 0.5, ("ghost", "restaurant"), semantics=Semantics.AND),
+            ranker,
+        )
+        assert out == []
+        # The lookup table is in memory; an impossible AND query must not
+        # read a single page.
+        assert loaded.stats.reads() == 0
+
+    def test_trace_resets_per_query(self, loaded):
+        ranker = Ranker(UNIT_SQUARE, 0.5)
+        loaded.query(TopKQuery(0.5, 0.5, ("restaurant",), k=50), ranker)
+        first = loaded._processor.last_trace
+        loaded.query(TopKQuery(0.5, 0.5, ("ghost",), k=5), ranker)
+        second = loaded._processor.last_trace
+        assert second is not first
+        assert second.docs_scored == 0

@@ -1,0 +1,214 @@
+"""Unit tests for the paged R-tree: structure, updates, search."""
+
+import random
+
+import pytest
+
+from repro.spatial.geometry import Rect, point_distance
+from repro.spatial.rtree import RTree
+from repro.storage.iostats import IOStats
+
+
+def brute_force_range(points, rect):
+    return sorted(p for p in points if rect.contains_point(p[0], p[1]))
+
+
+class TestInsertionStructure:
+    def test_empty_tree(self):
+        tree = RTree(max_entries=4)
+        assert len(tree) == 0
+        assert tree.height() == 1
+        tree.check_invariants()
+
+    def test_grows_and_keeps_invariants(self):
+        rng = random.Random(3)
+        tree = RTree(max_entries=4)
+        for i in range(200):
+            tree.insert_point(rng.random(), rng.random(), i, weight=rng.random())
+            if i % 25 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == 200
+        assert tree.height() >= 3
+
+    def test_derived_capacity_from_page_size(self):
+        tree = RTree(page_size=4096)
+        assert tree.max_entries == (4096 - 16) // 44
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_fill=0.9)
+
+    def test_duplicate_points_allowed(self):
+        tree = RTree(max_entries=4)
+        for i in range(20):
+            tree.insert_point(0.5, 0.5, i)
+        assert len(tree) == 20
+        tree.check_invariants()
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self):
+        rng = random.Random(11)
+        tree = RTree(max_entries=6)
+        points = []
+        for i in range(300):
+            x, y = rng.random(), rng.random()
+            points.append((x, y, i))
+            tree.insert_point(x, y, i)
+        for _ in range(20):
+            x1, x2 = sorted((rng.random(), rng.random()))
+            y1, y2 = sorted((rng.random(), rng.random()))
+            rect = Rect(x1, y1, x2, y2)
+            got = sorted((m.min_x, m.min_y, p) for m, p in tree.range_query(rect))
+            assert got == brute_force_range(points, rect)
+
+    def test_empty_result(self):
+        tree = RTree(max_entries=4)
+        tree.insert_point(0.1, 0.1, 1)
+        assert list(tree.range_query(Rect(0.5, 0.5, 0.9, 0.9))) == []
+
+
+class TestBestFirst:
+    def test_nearest_neighbour_order(self):
+        rng = random.Random(5)
+        tree = RTree(max_entries=4)
+        points = []
+        for i in range(150):
+            x, y = rng.random(), rng.random()
+            points.append((x, y, i))
+            tree.insert_point(x, y, i)
+        qx, qy = 0.4, 0.6
+
+        def bound(mbr, agg):
+            return -mbr.min_dist(qx, qy)
+
+        def score(entry):
+            return -point_distance(qx, qy, entry.mbr.min_x, entry.mbr.min_y)
+
+        got = [e.payload for _, e in tree.best_first(bound, score)]
+        want = [
+            i for _, i in sorted(
+                (point_distance(qx, qy, x, y), i) for x, y, i in points
+            )
+        ]
+        # Equal distances may permute; compare distance sequences instead.
+        got_d = [point_distance(qx, qy, *next((x, y) for x, y, i in points if i == p)) for p in got[:50]]
+        want_d = [point_distance(qx, qy, *next((x, y) for x, y, i in points if i == p)) for p in want[:50]]
+        assert got_d == pytest.approx(want_d)
+
+    def test_leaf_score_none_filters(self):
+        tree = RTree(max_entries=4)
+        for i in range(10):
+            tree.insert_point(i / 10, i / 10, i)
+        hits = list(
+            tree.best_first(lambda m, a: 1.0, lambda e: None if e.payload % 2 else 0.5)
+        )
+        assert sorted(e.payload for _, e in hits) == [0, 2, 4, 6, 8]
+
+    def test_lazy_io(self):
+        stats = IOStats()
+        tree = RTree(stats=stats, component="t", max_entries=4)
+        rng = random.Random(1)
+        for i in range(200):
+            tree.insert_point(rng.random(), rng.random(), i)
+        stats.reset()
+        qx, qy = 0.5, 0.5
+        it = tree.best_first(
+            lambda m, a: -m.min_dist(qx, qy),
+            lambda e: -point_distance(qx, qy, e.mbr.min_x, e.mbr.min_y),
+        )
+        for _ in range(3):
+            next(it)
+        partial_reads = stats.reads("t")
+        for _ in range(150):
+            next(it)
+        assert stats.reads("t") > partial_reads  # more consumption, more I/O
+
+
+class TestAggregates:
+    def test_root_agg_is_max_weight(self):
+        rng = random.Random(9)
+        tree = RTree(max_entries=4)
+        weights = []
+        for i in range(100):
+            w = rng.random()
+            weights.append(w)
+            tree.insert_point(rng.random(), rng.random(), i, weight=w)
+        root = tree.pager._objects[tree.root_id]
+        assert root.agg() == pytest.approx(max(weights))
+        tree.check_invariants()
+
+    def test_agg_upper_bounds_subtree(self):
+        # check_invariants already asserts parent agg == child agg; here
+        # we additionally check agg >= every leaf weight beneath.
+        rng = random.Random(13)
+        tree = RTree(max_entries=4)
+        for i in range(80):
+            tree.insert_point(rng.random(), rng.random(), i, weight=rng.random())
+
+        def walk(node_id, bound):
+            node = tree.pager._objects[node_id]
+            for e in node.entries:
+                assert e.agg <= bound + 1e-12
+                if not node.is_leaf:
+                    walk(e.child, e.agg)
+
+        root = tree.pager._objects[tree.root_id]
+        walk(tree.root_id, root.agg())
+
+
+class TestDeletion:
+    def test_delete_returns_flag(self):
+        tree = RTree(max_entries=4)
+        tree.insert_point(0.5, 0.5, 1)
+        assert tree.delete_point(0.5, 0.5, 1)
+        assert not tree.delete_point(0.5, 0.5, 1)
+        assert len(tree) == 0
+
+    def test_delete_keeps_invariants(self):
+        rng = random.Random(21)
+        tree = RTree(max_entries=4)
+        points = []
+        for i in range(150):
+            x, y = rng.random(), rng.random()
+            points.append((x, y, i))
+            tree.insert_point(x, y, i, weight=rng.random())
+        rng.shuffle(points)
+        for j, (x, y, i) in enumerate(points[:120]):
+            assert tree.delete_point(x, y, i)
+            if j % 20 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == 30
+        remaining = {p for _, p in tree.range_query(Rect(0, 0, 1, 1))}
+        assert remaining == {i for _, _, i in points[120:]}
+
+    def test_delete_everything_then_reinsert(self):
+        rng = random.Random(2)
+        tree = RTree(max_entries=4)
+        pts = [(rng.random(), rng.random(), i) for i in range(60)]
+        for x, y, i in pts:
+            tree.insert_point(x, y, i)
+        for x, y, i in pts:
+            assert tree.delete_point(x, y, i)
+        assert len(tree) == 0
+        tree.check_invariants()
+        for x, y, i in pts:
+            tree.insert_point(x, y, i)
+        assert len(tree) == 60
+        tree.check_invariants()
+
+    def test_root_shrinks_after_mass_delete(self):
+        rng = random.Random(4)
+        tree = RTree(max_entries=4)
+        pts = [(rng.random(), rng.random(), i) for i in range(100)]
+        for x, y, i in pts:
+            tree.insert_point(x, y, i)
+        tall = tree.height()
+        for x, y, i in pts[:95]:
+            tree.delete_point(x, y, i)
+        assert tree.height() < tall
+        tree.check_invariants()

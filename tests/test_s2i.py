@@ -1,0 +1,142 @@
+"""Unit tests for the S2I baseline: thresholding, migration, aggregation."""
+
+import pytest
+
+from repro.baselines.naive import NaiveScanIndex
+from repro.baselines.s2i import S2IIndex
+from repro.model.document import SpatialTuple
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import UNIT_SQUARE
+from repro.storage.records import f32
+
+from tests.helpers import make_documents, results_as_pairs
+
+
+def tup(doc_id, word="w", x=0.5, y=0.5, weight=0.5):
+    return SpatialTuple(doc_id=doc_id, word=word, x=x, y=y, weight=f32(weight))
+
+
+class TestThresholdAndMigration:
+    def test_infrequent_keyword_stays_flat(self):
+        idx = S2IIndex(UNIT_SQUARE, threshold=3)
+        for i in range(3):
+            idx.insert_tuple(tup(i, x=0.1 * (i + 1)))
+        assert not idx.is_frequent("w")
+        assert idx.num_tree_files == 0
+
+    def test_promotion_on_crossing_threshold(self):
+        idx = S2IIndex(UNIT_SQUARE, threshold=3, max_entries=4)
+        for i in range(4):
+            idx.insert_tuple(tup(i, x=0.1 * (i + 1)))
+        assert idx.is_frequent("w")
+        assert idx.num_tree_files == 1
+        assert idx.migrations == 1
+
+    def test_demotion_on_dropping_below_threshold(self):
+        idx = S2IIndex(UNIT_SQUARE, threshold=3, max_entries=4)
+        tuples = [tup(i, x=0.1 * (i + 1)) for i in range(5)]
+        for t in tuples:
+            idx.insert_tuple(t)
+        assert idx.is_frequent("w")
+        assert idx.delete_tuple(tuples[0])
+        assert idx.delete_tuple(tuples[1])
+        assert not idx.is_frequent("w")  # moved back to the flat file
+        assert idx.migrations == 2
+
+    def test_migration_preserves_tuples(self):
+        idx = S2IIndex(UNIT_SQUARE, threshold=2, max_entries=4)
+        tuples = [tup(i, x=0.05 + 0.09 * i, weight=0.1 * (i + 1)) for i in range(6)]
+        for t in tuples:
+            idx.insert_tuple(t)
+        ranker = Ranker(UNIT_SQUARE, alpha=0.0)
+        q = TopKQuery(0.5, 0.5, ("w",), k=6)
+        got = idx.query(q, ranker)
+        assert {r.doc_id for r in got} == {t.doc_id for t in tuples}
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            S2IIndex(UNIT_SQUARE, threshold=0)
+
+    def test_delete_missing_tuple(self):
+        idx = S2IIndex(UNIT_SQUARE, threshold=3)
+        assert not idx.delete_tuple(tup(1))
+        idx.insert_tuple(tup(1))
+        assert not idx.delete_tuple(tup(2))
+
+    def test_delete_last_flat_tuple_drops_block(self):
+        idx = S2IIndex(UNIT_SQUARE, threshold=3)
+        t = tup(1)
+        idx.insert_tuple(t)
+        assert idx.delete_tuple(t)
+        assert idx.num_tuples == 0
+        assert idx.size_bytes == 0
+
+
+class TestQueryAggregation:
+    def test_matches_oracle_with_mixed_sources(self, rng):
+        # Low threshold: some query keywords are tree-backed, others flat.
+        docs = make_documents(200, rng)
+        idx = S2IIndex(UNIT_SQUARE, threshold=10, max_entries=4)
+        naive = NaiveScanIndex()
+        for d in docs:
+            idx.insert_document(d)
+            naive.insert_document(d)
+        ranker = Ranker(UNIT_SQUARE, alpha=0.5)
+        for semantics in (Semantics.AND, Semantics.OR):
+            for words in [("spicy",), ("spicy", "cafe"), ("bar", "grill", "pizza")]:
+                q = TopKQuery(0.3, 0.7, words, k=10, semantics=semantics)
+                assert results_as_pairs(idx.query(q, ranker)) == results_as_pairs(
+                    naive.query(q, ranker)
+                )
+
+    def test_random_access_lookups_cost_tree_io(self, rng):
+        docs = make_documents(300, rng, min_words=2, max_words=4)
+        idx = S2IIndex(UNIT_SQUARE, threshold=5, max_entries=4)
+        for d in docs:
+            idx.insert_document(d)
+        ranker = Ranker(UNIT_SQUARE, alpha=0.5)
+        idx.stats.reset()
+        idx.query(TopKQuery(0.5, 0.5, ("spicy",), k=5), ranker)
+        single = idx.stats.reads("s2i.tree")
+        idx.stats.reset()
+        idx.query(
+            TopKQuery(0.5, 0.5, ("spicy", "restaurant", "pizza"), k=5), ranker
+        )
+        multi = idx.stats.reads("s2i.tree")
+        # Multi-keyword queries pay cross-tree random access.
+        assert multi > single
+
+    def test_early_termination_reads_less_than_exhaustion(self, rng):
+        docs = make_documents(400, rng, vocab=["w"], min_words=1, max_words=1)
+        idx = S2IIndex(UNIT_SQUARE, threshold=5, max_entries=8)
+        for d in docs:
+            idx.insert_document(d)
+        ranker = Ranker(UNIT_SQUARE, alpha=0.9)  # spatially selective
+        idx.stats.reset()
+        idx.query(TopKQuery(0.5, 0.5, ("w",), k=1), ranker)
+        small_k = idx.stats.reads("s2i.tree")
+        idx.stats.reset()
+        idx.query(TopKQuery(0.5, 0.5, ("w",), k=400), ranker)
+        large_k = idx.stats.reads("s2i.tree")
+        assert small_k < large_k
+
+
+class TestSizeAccounting:
+    def test_breakdown(self, rng):
+        docs = make_documents(150, rng)
+        idx = S2IIndex(UNIT_SQUARE, threshold=10, max_entries=4)
+        for d in docs:
+            idx.insert_document(d)
+        breakdown = idx.size_breakdown()
+        assert set(breakdown) == {"flat", "trees"}
+        assert breakdown["trees"] > 0  # frequent keywords got trees
+        assert idx.size_bytes == sum(breakdown.values())
+
+    def test_tree_file_count_tracks_frequent_words(self, rng):
+        docs = make_documents(150, rng)
+        idx = S2IIndex(UNIT_SQUARE, threshold=10, max_entries=4)
+        for d in docs:
+            idx.insert_document(d)
+        frequent = [w for w in ("restaurant", "spicy") if idx.is_frequent(w)]
+        assert idx.num_tree_files >= len(frequent)
