@@ -1,0 +1,145 @@
+"""Service throughput: queries/sec vs worker-pool size.
+
+Sweeps the :class:`repro.service.QueryService` worker count over a
+skewed (hot/cold) FREQ workload against one shared I3 index + buffer
+pool, and writes the machine-readable sweep to ``BENCH_service.json``
+at the repository root (the artifact CI uploads).
+
+Shape assertions: answers are identical at every pool size
+(concurrency must never change results), and the sweep reports a
+positive qps plus p50/p95/p99 latency for every worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+from typing import Dict
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.model.scoring import Ranker
+from repro.service import QueryService, ServiceConfig
+from repro.storage.buffer import BufferPool
+
+WORKERS = (1, 2, 4, 8)
+DATASET = "Twitter1M"
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+_results: Dict[int, dict] = {}
+_answers: Dict[int, list] = {}
+
+
+def _requests(querylog_factory, profile):
+    """A Zipf-skewed request stream over FREQ_2 query shapes: the hot
+    head repeats (cache-friendly), the tail stays cold."""
+    shapes = querylog_factory(DATASET).freq(2, count=40).queries
+    rng = random.Random(profile.seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(shapes))]
+    return rng.choices(shapes, weights=weights, k=profile.queries_per_set * 3)
+
+
+def _index_with_pool(built_factory):
+    index = built_factory("I3", DATASET).index
+    if index.data.buffer is None:
+        pool = BufferPool(index.data.file, capacity=256)
+        index.data.buffer = pool
+        index.data.slotted.store = pool
+    return index
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+@pytest.mark.benchmark(group="service-throughput")
+def test_service_throughput(
+    benchmark, built_factory, querylog_factory, profile, workers
+):
+    index = _index_with_pool(built_factory)
+    requests = _requests(querylog_factory, profile)
+    ranker = Ranker(index.space, 0.5)
+    config = ServiceConfig(
+        workers=workers,
+        max_pending=max(64, 4 * workers),
+        cache_capacity=128,
+        metrics_seed=profile.seed,
+    )
+
+    def run():
+        with QueryService(index, config, ranker=ranker) as service:
+            start = time.perf_counter()
+            answers = service.search_batch(requests)
+            wall = time.perf_counter() - start
+            snapshot = service.metrics_snapshot()
+        return wall, snapshot, answers
+
+    wall, snapshot, answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    latency = snapshot["histograms"]["latency_ms"]
+    queue_wait = snapshot["histograms"]["queue_wait_ms"]
+    _answers[workers] = [
+        [(r.doc_id, round(r.score, 9)) for r in result] for result in answers
+    ]
+    _results[workers] = {
+        "workers": workers,
+        "queries": len(requests),
+        "wall_seconds": wall,
+        "qps": len(requests) / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": latency["p50"],
+            "p95": latency["p95"],
+            "p99": latency["p99"],
+            "mean": latency["mean"],
+        },
+        "queue_wait_ms_p95": queue_wait["p95"],
+        "cache_hit_ratio": snapshot["cache"]["hit_ratio"],
+        "buffer_pool_hit_ratio": snapshot["buffer_pool"]["hit_ratio"],
+        "completed": snapshot["counters"]["queries.completed"],
+    }
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_service_report(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Service throughput — qps and latency quantiles vs worker count "
+        f"({DATASET}, skewed FREQ_2 stream)",
+        ["workers", "qps", "p50 ms", "p95 ms", "p99 ms", "cache hit"],
+    )
+    for workers in WORKERS:
+        if workers not in _results:
+            continue
+        row = _results[workers]
+        table.add_row(
+            workers,
+            round(row["qps"], 1),
+            round(row["latency_ms"]["p50"], 3),
+            round(row["latency_ms"]["p95"], 3),
+            round(row["latency_ms"]["p99"], 3),
+            round(row["cache_hit_ratio"], 3),
+        )
+    collect(table.render())
+
+    # Concurrency must never change answers: every sweep returned the
+    # same results for the same request stream.
+    measured = [w for w in WORKERS if w in _answers]
+    for workers in measured[1:]:
+        assert _answers[workers] == _answers[measured[0]]
+    for workers in measured:
+        row = _results[workers]
+        assert row["qps"] > 0
+        assert row["completed"] == row["queries"]
+        assert row["latency_ms"]["p99"] >= row["latency_ms"]["p50"] >= 0
+
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "service-throughput",
+                "dataset": DATASET,
+                "profile": profile.name,
+                "sweep": [_results[w] for w in measured],
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -33,6 +33,7 @@ from repro.model import (
     TopKCollector,
     TopKQuery,
 )
+from repro.service import QueryService, ServiceConfig
 from repro.spatial.geometry import Rect, UNIT_SQUARE
 
 __version__ = "1.0.0"
@@ -50,6 +51,8 @@ __all__ = [
     "SpatialTuple",
     "TopKCollector",
     "TopKQuery",
+    "QueryService",
+    "ServiceConfig",
     "Rect",
     "UNIT_SQUARE",
     "__version__",

@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``):
     python -m repro info     --index city.i3ix
     python -m repro query    --index city.i3ix --at 0.4,0.6 \
                              --words "spicy restaurant" --k 5 --semantics and
+    python -m repro serve-bench --docs 2000 --queries 400 --workers 4 --json
 
 Corpora are exchanged as JSON lines, one document per line:
 
@@ -17,7 +18,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
+import time
 from typing import Iterable, List, Optional
 
 from repro.core.index import I3Index
@@ -135,6 +138,105 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_bench_queries(index: I3Index, args: argparse.Namespace) -> List[TopKQuery]:
+    """A skewed request stream over the index's own vocabulary.
+
+    Distinct query shapes are drawn from the indexed keywords; requests
+    repeat them with a 1/rank (Zipf-like) skew so the hottest queries
+    dominate — the workload property FAST exploits and the result cache
+    is built for.
+    """
+    rng = random.Random(args.seed)
+    words = sorted(word for word, _ in index.lookup.items())
+    if not words:
+        raise SystemExit("index has no keywords to query")
+    semantics = Semantics.AND if args.semantics == "and" else Semantics.OR
+    distinct = max(1, args.queries // max(1, args.skew))
+    shapes = []
+    for _ in range(distinct):
+        qn = rng.randint(1, min(3, len(words)))
+        shapes.append(
+            TopKQuery(
+                rng.uniform(index.space.min_x, index.space.max_x),
+                rng.uniform(index.space.min_y, index.space.max_y),
+                tuple(rng.sample(words, qn)),
+                k=args.k,
+                semantics=semantics,
+            )
+        )
+    weights = [1.0 / rank for rank in range(1, len(shapes) + 1)]
+    return rng.choices(shapes, weights=weights, k=args.queries)
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.service import QueryService, ServiceConfig
+
+    if args.index:
+        index = load_index(args.index)
+        if args.buffer_pages and index.data.buffer is None:
+            # Re-attach a buffer pool so workers share a page cache.
+            from repro.storage.buffer import BufferPool
+
+            index.data.buffer = BufferPool(index.data.file, args.buffer_pages)
+            index.data.slotted.store = index.data.buffer
+    else:
+        corpus = TwitterLikeGenerator(args.docs, seed=args.seed).generate()
+        index = I3Index(
+            corpus.space,
+            page_size=args.page_size,
+            buffer_pages=args.buffer_pages or None,
+        )
+        index.bulk_load(corpus.documents)
+    queries = _serve_bench_queries(index, args)
+    config = ServiceConfig(
+        workers=args.workers,
+        max_pending=max(args.max_pending, args.workers),
+        timeout=args.timeout,
+        cache_capacity=args.cache,
+        metrics_seed=args.seed,
+    )
+    ranker = Ranker(index.space, alpha=args.alpha)
+    start = time.perf_counter()
+    with QueryService(index, config, ranker=ranker) as service:
+        service.search_batch(queries)
+        elapsed = time.perf_counter() - start
+        snapshot = service.metrics_snapshot()
+    snapshot["service"]["wall_seconds"] = elapsed
+    snapshot["service"]["qps"] = len(queries) / elapsed if elapsed > 0 else 0.0
+    if args.json:
+        json.dump(snapshot, sys.stdout, indent=2)
+        print()
+    else:
+        latency = snapshot["histograms"]["latency_ms"]
+        wait = snapshot["histograms"]["queue_wait_ms"]
+        print(
+            f"{len(queries)} queries, {args.workers} workers: "
+            f"{snapshot['service']['qps']:.0f} q/s in {elapsed:.2f}s"
+        )
+        print(
+            f"latency ms  p50 {latency['p50']:.2f}  p95 {latency['p95']:.2f}  "
+            f"p99 {latency['p99']:.2f}  (mean {latency['mean']:.2f})"
+        )
+        print(
+            f"queue wait ms  p50 {wait['p50']:.2f}  p95 {wait['p95']:.2f}  "
+            f"p99 {wait['p99']:.2f}"
+        )
+        cache = snapshot.get("cache")
+        if cache:
+            print(
+                f"result cache: {cache['hits']} hits / "
+                f"{cache['hits'] + cache['misses']} lookups "
+                f"({100 * cache['hit_ratio']:.0f}%)"
+            )
+        pool = snapshot.get("buffer_pool")
+        if pool:
+            print(
+                f"buffer pool: {pool['logical_reads']} logical reads, "
+                f"{pool['misses']} misses ({100 * pool['hit_ratio']:.0f}% hit)"
+            )
+    return 0
+
+
 def _parse_point(text: str):
     try:
         x_str, y_str = text.split(",")
@@ -195,6 +297,43 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--alpha", type=float, default=0.5)
     query.add_argument("--json", action="store_true", help="JSON output")
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the concurrent query service and report serving metrics",
+    )
+    source = serve.add_mutually_exclusive_group()
+    source.add_argument("--index", help="existing .i3ix index to serve")
+    source.add_argument(
+        "--docs", type=int, default=2000,
+        help="size of the generated twitter-like corpus (when no --index)",
+    )
+    serve.add_argument("--queries", type=int, default=400, help="requests to issue")
+    serve.add_argument(
+        "--skew", type=int, default=4,
+        help="requests per distinct query shape (higher = hotter workload)",
+    )
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--semantics", choices=["and", "or"], default="or")
+    serve.add_argument("--alpha", type=float, default=0.5)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="admission limit (queued + running queries)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, help="per-query deadline in seconds"
+    )
+    serve.add_argument(
+        "--cache", type=int, default=256,
+        help="result-cache entries (0 disables the cache)",
+    )
+    serve.add_argument("--buffer-pages", type=int, default=1024,
+                       help="shared buffer-pool pages (0 = unbuffered)")
+    serve.add_argument("--page-size", type=int, default=4096)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json", action="store_true", help="JSON metrics output")
+    serve.set_defaults(func=_cmd_serve_bench)
 
     return parser
 

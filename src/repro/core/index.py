@@ -57,6 +57,10 @@ class I3Index:
         eta: Signature bitmap length used in summary nodes.
         grid: Shared quadtree cell geometry.
         stats: I/O counters covering the head and data files.
+        epoch: Mutation counter, bumped by every tuple insert/delete and
+            bulk load.  External result caches (see
+            :mod:`repro.service.cache`) stamp entries with it, which
+            makes cached results self-invalidating.
     """
 
     def __init__(
@@ -91,6 +95,7 @@ class I3Index:
         self.lookup = LookupTable()
         self.num_documents = 0
         self.num_tuples = 0
+        self.epoch = 0
         self._processor = I3QueryProcessor(self)
 
     @property
@@ -175,6 +180,7 @@ class I3Index:
                 )
             self.num_tuples += len(records)
         self.num_documents = count
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # Tuple insertion (Algorithms 1-3)
@@ -186,6 +192,7 @@ class I3Index:
         )
         entry = self.lookup.get(t.word)
         self.num_tuples += 1
+        self.epoch += 1
         if entry is None:
             # A brand-new keyword: one tuple, one cell, any page with room.
             cell = self.data.create_cell([record])
@@ -304,6 +311,7 @@ class I3Index:
             if not self.data.delete_from_cell(cell, doc_id):
                 return False
             self.num_tuples -= 1
+            self.epoch += 1
             if cell.count == 0:
                 self.lookup.remove(word)
             return True
@@ -326,6 +334,7 @@ class I3Index:
             if not found:
                 return False
             self.num_tuples -= 1
+            self.epoch += 1
             node.children[quadrant] = SummaryInfo.of_tuples(self.eta, remaining)
             if ptr.count == 0:
                 node.child_ptrs[quadrant] = None
@@ -342,11 +351,38 @@ class I3Index:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, query: TopKQuery, ranker: Optional[Ranker] = None) -> List[ScoredDoc]:
-        """Answer a top-k spatial keyword query (Algorithm 4)."""
+    def query(
+        self,
+        query: TopKQuery,
+        ranker: Optional[Ranker] = None,
+        cache=None,
+        io_sink: Optional[IOStats] = None,
+    ) -> List[ScoredDoc]:
+        """Answer a top-k spatial keyword query (Algorithm 4).
+
+        ``cache`` is an optional external read-through result cache (any
+        object with ``get_or_compute(key, epoch, compute)``, e.g.
+        :class:`~repro.service.cache.QueryResultCache`): results are
+        keyed by ``(query, alpha)`` and stamped with the current
+        :attr:`epoch`, so a hit after any mutation recomputes.
+
+        ``io_sink`` is an optional external :class:`IOStats` receiving a
+        private copy of this call's I/O (this thread's only), letting
+        concurrent callers attribute I/O per query.  A cache hit
+        records no I/O.
+        """
         if ranker is None:
             ranker = Ranker(self.space)
-        return self._processor.search(query, ranker)
+
+        def run() -> List[ScoredDoc]:
+            if io_sink is None:
+                return self._processor.search(query, ranker)
+            with self.stats.tee(io_sink):
+                return self._processor.search(query, ranker)
+
+        if cache is None:
+            return run()
+        return cache.get_or_compute((query, ranker.alpha), self.epoch, run)
 
     def iter_query(self, query: TopKQuery, ranker: Optional[Ranker] = None):
         """Stream matching documents best-first, without a k bound.

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.core.and_semantics import AndSemantics
@@ -75,13 +76,23 @@ class I3QueryProcessor:
     def __init__(self, index: "I3Index", or_lattice: bool = True) -> None:
         self.index = index
         self.or_lattice = or_lattice
-        self.last_trace: Optional[QueryTrace] = None
+        self._trace_local = threading.local()
+
+    @property
+    def last_trace(self) -> Optional[QueryTrace]:
+        """The trace of the *calling thread's* most recent search.
+
+        Thread-local so concurrent queries (the serving layer) never
+        overwrite each other's diagnostics.
+        """
+        return getattr(self._trace_local, "trace", None)
 
     def search(
         self,
         query: TopKQuery,
         ranker: Ranker,
         spatial_filter: Optional["SpatialFilter"] = None,
+        trace: Optional[QueryTrace] = None,
     ) -> List[ScoredDoc]:
         """Answer ``query``; returns at most ``query.k`` scored documents.
 
@@ -90,9 +101,14 @@ class I3QueryProcessor:
         rules out are skipped, documents it rejects are dropped at
         scoring time.  The filter must be *conservative* on cells —
         ``may_intersect(rect)`` may err toward True, never toward False.
+
+        ``trace`` optionally supplies an external :class:`QueryTrace` to
+        fill (callers attributing diagnostics per query); by default a
+        fresh one is created and exposed as :attr:`last_trace`.
         """
-        trace = QueryTrace()
-        self.last_trace = trace
+        if trace is None:
+            trace = QueryTrace()
+        self._trace_local.trace = trace
         semantics = (
             AndSemantics(self.index.eta)
             if query.semantics is Semantics.AND

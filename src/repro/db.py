@@ -133,12 +133,16 @@ class SpatialKeywordDatabase:
         """Recompute every document's weights against the current corpus
         statistics and rebuild the index (bulk idf refresh)."""
         entries = list(self._texts.items())
+        old_epoch = self.index.epoch
         self.index = I3Index(
             self.space,
             eta=self.index.eta,
             page_size=self.index.data.file.page_size,
             max_depth=self.index.max_depth,
         )
+        # Keep the mutation epoch monotonic across the rebuild so external
+        # result caches stamped against the old index can never validate.
+        self.index.epoch = old_epoch + 1
         self._docs.clear()
         for doc_id, (x, y, text) in entries:
             tokens = self.tokenizer.tokenize(text)
@@ -158,11 +162,17 @@ class SpatialKeywordDatabase:
         k: int = 10,
         semantics: Semantics = Semantics.OR,
         alpha: Optional[float] = None,
+        cache=None,
     ) -> List[SearchHit]:
         """Top-k documents for a location plus keywords.
 
         ``keywords`` may be a raw query string (tokenised with the same
         pipeline as documents) or a pre-split sequence of keywords.
+
+        ``cache`` is an optional external read-through result cache
+        (see :meth:`repro.core.index.I3Index.query`); the finished
+        :class:`SearchHit` lists are cached, stamped with the index
+        epoch so inserts/deletes invalidate them.
         """
         if isinstance(keywords, str):
             words: Sequence[str] = self.tokenizer.keywords(keywords)
@@ -172,7 +182,13 @@ class SpatialKeywordDatabase:
             return []
         query = TopKQuery(x, y, tuple(words), k=k, semantics=semantics)
         ranker = Ranker(self.space, self.alpha if alpha is None else alpha)
-        return [self._hit(r) for r in self.index.query(query, ranker)]
+
+        def run() -> List[SearchHit]:
+            return [self._hit(r) for r in self.index.query(query, ranker)]
+
+        if cache is None:
+            return run()
+        return cache.get_or_compute((query, ranker.alpha), self.index.epoch, run)
 
     def _hit(self, result: ScoredDoc) -> SearchHit:
         x, y, text = self._texts[result.doc_id]

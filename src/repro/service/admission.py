@@ -1,0 +1,73 @@
+"""Admission control: a bounded-pending gate in front of the worker pool.
+
+Unbounded queues turn overload into unbounded latency — every query
+eventually gets served, long after its caller stopped caring.  The
+serving layer instead bounds the number of *admitted-but-unfinished*
+queries (running plus queued).  At the bound, a non-blocking admit is
+refused outright (the caller sheds with
+:class:`~repro.service.errors.ServiceOverloaded`), while batch callers
+may opt into blocking admission, which applies backpressure instead of
+failing.
+
+Thread-safety contract: a single lock/condition protects the pending
+count; :meth:`release` wakes blocked admitters.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Caps the number of simultaneously pending (queued + running) tasks.
+
+    Attributes:
+        limit: Maximum pending tasks; admissions beyond it are refused
+            (non-blocking) or wait (blocking).
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit <= 0:
+            raise ValueError(f"admission limit must be positive, got {limit}")
+        self.limit = limit
+        self._cond = threading.Condition()
+        self._pending = 0
+
+    def try_acquire(self) -> bool:
+        """Admit one task if under the limit; False means *shed*."""
+        with self._cond:
+            if self._pending >= self.limit:
+                return False
+            self._pending += 1
+            return True
+
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        """Admit one task, waiting for capacity (backpressure).
+
+        Returns False only if ``timeout`` elapsed with the gate still
+        full.
+        """
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._pending < self.limit, timeout=timeout
+            ):
+                return False
+            self._pending += 1
+            return True
+
+    def release(self) -> None:
+        """Mark one admitted task finished, unblocking a waiter."""
+        with self._cond:
+            if self._pending <= 0:
+                raise RuntimeError("release without a matching acquire")
+            self._pending -= 1
+            self._cond.notify()
+
+    @property
+    def pending(self) -> int:
+        """Currently admitted, unfinished tasks."""
+        with self._cond:
+            return self._pending

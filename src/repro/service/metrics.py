@@ -1,0 +1,230 @@
+"""Serving metrics: counters, gauges, reservoir-sampled histograms.
+
+A production search tier is judged by its tail latency, not its mean —
+FAST (arXiv:1709.02529) reports p99s for exactly this reason.  This
+module provides the three metric kinds such a tier exports:
+
+* :class:`MetricCounter` — a monotonically increasing count (queries
+  served, cache hits, queries shed);
+* :class:`Gauge` — an instantaneous level (queue depth, in-flight
+  queries);
+* :class:`Histogram` — a latency/size distribution summarised by
+  quantiles.  It keeps a fixed-size uniform sample of all observations
+  (Vitter's reservoir algorithm R), so memory stays bounded no matter
+  how many queries flow through, while p50/p95/p99 remain unbiased
+  estimates over the whole run.
+
+All metrics are thread-safe; a :class:`MetricsRegistry` names them,
+creates them on demand and renders everything to one plain dict (JSON-
+ready) for the ``repro serve-bench`` CLI and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["MetricCounter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class MetricCounter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """An instantaneous level that can move both ways."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to an absolute level."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down by ``amount``."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A bounded-memory distribution summary (reservoir sampling).
+
+    Keeps a uniform random sample of at most ``reservoir_size``
+    observations using Vitter's algorithm R: the ``n``-th observation
+    replaces a random reservoir slot with probability ``size/n``.  Exact
+    ``count``/``sum``/``min``/``max`` are tracked alongside, so only the
+    quantiles are estimates.
+
+    ``seed`` pins the replacement choices, making quantiles reproducible
+    in tests and benchmarks.
+    """
+
+    __slots__ = ("_lock", "_rng", "_reservoir", "_size", "count", "total", "_min", "_max")
+
+    def __init__(self, reservoir_size: int = 1024, seed: Optional[int] = None) -> None:
+        if reservoir_size <= 0:
+            raise ValueError(f"reservoir_size must be positive, got {reservoir_size}")
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._reservoir: List[float] = []
+        self._size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if len(self._reservoir) < self._size:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._size:
+                    self._reservoir[slot] = value
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of all observations.
+
+        Nearest-rank over the sorted reservoir; 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._reservoir:
+                return 0.0
+            ordered = sorted(self._reservoir)
+            rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+            return ordered[rank]
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0.0 when empty)."""
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The standard export: count, mean, min/max, p50/p95/p99."""
+        with self._lock:
+            count, total = self.count, self.total
+            lo, hi = self._min, self._max
+            ordered = sorted(self._reservoir)
+
+        def rank(q: float) -> float:
+            if not ordered:
+                return 0.0
+            return ordered[min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))]
+
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": lo if lo is not None else 0.0,
+            "max": hi if hi is not None else 0.0,
+            "p50": rank(0.50),
+            "p95": rank(0.95),
+            "p99": rank(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, exported as one dict.
+
+    Names are dotted strings (``"queries.completed"``); the export
+    groups metrics by kind so consumers need no schema knowledge beyond
+    the three metric shapes.
+    """
+
+    def __init__(self, histogram_reservoir: int = 1024, seed: Optional[int] = None) -> None:
+        self._lock = threading.Lock()
+        self._histogram_reservoir = histogram_reservoir
+        self._seed = seed
+        self._counters: Dict[str, MetricCounter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> MetricCounter:
+        """The counter called ``name``, created if absent."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = MetricCounter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created if absent."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created if absent."""
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(
+                    self._histogram_reservoir, seed=self._seed
+                )
+            return metric
+
+    def as_dict(self) -> Dict[str, Dict]:
+        """Every metric's current value, grouped by kind."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`as_dict` export serialised as JSON."""
+        return json.dumps(self.as_dict(), indent=indent)

@@ -1,0 +1,458 @@
+"""The concurrent query service: a serving tier above the I3 index.
+
+The library below this module is a single-caller embedding; a
+production search tier (the ROADMAP's north star, and what FAST
+(arXiv:1709.02529) builds for spatio-textual data) needs the layer this
+module provides:
+
+* a **bounded worker pool** executing queries concurrently against one
+  shared index and one shared buffer pool;
+* **admission control** — a configurable pending limit with load
+  shedding (:class:`~repro.service.errors.ServiceOverloaded`) for
+  interactive callers and blocking backpressure for batch callers;
+* **per-query deadlines** — queries that expire while queued are never
+  executed, and waiters stop waiting
+  (:class:`~repro.service.errors.QueryTimeout`);
+* a **read-through result cache** (epoch-invalidated on insert/delete);
+* **serving metrics** — counters, queue-depth gauges and reservoir
+  latency histograms exported by
+  :meth:`QueryService.metrics_snapshot` and the ``repro serve-bench``
+  CLI.
+
+Reads run concurrently (shared lock); mutations submitted through
+:meth:`QueryService.insert` / :meth:`QueryService.delete` /
+:meth:`QueryService.mutate` take the exclusive side, so queries never
+observe a half-applied update.  Results are exactly those of calling
+``I3Index.query`` sequentially — concurrency changes throughput, never
+answers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from queue import SimpleQueue
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.index import I3Index
+from repro.db import SpatialKeywordDatabase
+from repro.model.query import TopKQuery
+from repro.model.scoring import Ranker
+from repro.service.admission import AdmissionController
+from repro.service.cache import QueryResultCache
+from repro.service.errors import (
+    QueryTimeout,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.storage.iostats import IOStats
+
+__all__ = ["ServiceConfig", "QueryService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of a :class:`QueryService`.
+
+    Attributes:
+        workers: Worker threads executing queries.
+        max_pending: Admission limit — queued plus running queries; a
+            non-blocking submit beyond it is shed.
+        timeout: Per-query deadline in seconds (``None`` = no deadline):
+            enforced both while queued (expired queries are never run)
+            and while the caller waits for the result.
+        cache_capacity: Result-cache entries; ``0`` disables the cache.
+        metrics_reservoir: Latency-histogram reservoir size.
+        metrics_seed: Seed for the histogram reservoirs (reproducible
+            quantiles in tests/benchmarks); ``None`` = nondeterministic.
+    """
+
+    workers: int = 4
+    max_pending: int = 64
+    timeout: Optional[float] = None
+    cache_capacity: int = 256
+    metrics_reservoir: int = 1024
+    metrics_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.max_pending < self.workers:
+            raise ValueError(
+                f"max_pending ({self.max_pending}) must be >= workers "
+                f"({self.workers}); a smaller bound would idle the pool"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.cache_capacity < 0:
+            raise ValueError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity}"
+            )
+
+
+class _ReadWriteLock:
+    """Writer-preferring shared/exclusive lock.
+
+    Queries hold the shared side; mutations the exclusive side.  A
+    waiting writer blocks new readers, so a steady query stream cannot
+    starve updates.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            self._cond.wait_for(lambda: not self._writer and not self._writers_waiting)
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                self._cond.wait_for(lambda: not self._writer and self._readers == 0)
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class _Task:
+    """One admitted query waiting in (or leaving) the service queue."""
+
+    __slots__ = ("query", "future", "enqueued", "deadline")
+
+    def __init__(
+        self, query: TopKQuery, future: "Future", enqueued: float,
+        deadline: Optional[float],
+    ) -> None:
+        self.query = query
+        self.future = future
+        self.enqueued = enqueued
+        self.deadline = deadline
+
+
+_SHUTDOWN = object()
+
+
+class QueryService:
+    """A thread-based concurrent query service over one index.
+
+    ``target`` is either a raw :class:`~repro.core.index.I3Index` (query
+    results are :class:`~repro.model.results.ScoredDoc` lists) or a
+    :class:`~repro.db.SpatialKeywordDatabase` (results are
+    :class:`~repro.db.SearchHit` lists).  Either way all workers share
+    the target's buffer pool and I/O counters — the storage layer's
+    locks (see :mod:`repro.storage`) make that safe.
+
+    Use as a context manager or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        target: Union[I3Index, SpatialKeywordDatabase],
+        config: Optional[ServiceConfig] = None,
+        ranker: Optional[Ranker] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        if isinstance(target, SpatialKeywordDatabase):
+            self._db: Optional[SpatialKeywordDatabase] = target
+            self._index = target.index
+        else:
+            self._db = None
+            self._index = target
+        self.target = target
+        self._ranker = (
+            ranker if ranker is not None else Ranker(self._index.space)
+        )
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else MetricsRegistry(
+                histogram_reservoir=self.config.metrics_reservoir,
+                seed=self.config.metrics_seed,
+            )
+        )
+        self.cache: Optional[QueryResultCache] = (
+            QueryResultCache(self.config.cache_capacity)
+            if self.config.cache_capacity
+            else None
+        )
+        self._admission = AdmissionController(self.config.max_pending)
+        self._rwlock = _ReadWriteLock()
+        self._queue: "SimpleQueue" = SimpleQueue()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._started = time.monotonic()
+        self.metrics.gauge("service.workers").set(self.config.workers)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-query-{i}", daemon=True
+            )
+            for i in range(self.config.workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Query submission
+    # ------------------------------------------------------------------
+    def submit(self, query: TopKQuery, block: bool = False) -> "Future":
+        """Enqueue a query; returns a future resolving to its results.
+
+        With ``block=False`` (the default, for interactive traffic) a
+        full service sheds the query by raising
+        :class:`ServiceOverloaded`.  With ``block=True`` (batch
+        traffic) the call waits for admission instead — backpressure,
+        not failure.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        self.metrics.counter("queries.submitted").inc()
+        admitted = (
+            self._admission.acquire() if block else self._admission.try_acquire()
+        )
+        if not admitted:
+            self.metrics.counter("queries.shed").inc()
+            raise ServiceOverloaded(self._admission.pending, self.config.max_pending)
+        if self._closed:  # closed while we waited for admission
+            self._admission.release()
+            raise ServiceClosed("service is closed")
+        now = time.monotonic()
+        deadline = (
+            now + self.config.timeout if self.config.timeout is not None else None
+        )
+        task = _Task(query, Future(), enqueued=now, deadline=deadline)
+        self.metrics.gauge("queue.depth").inc()
+        self._queue.put(task)
+        return task.future
+
+    def search(self, query: TopKQuery) -> List[Any]:
+        """Submit one query and wait for its results.
+
+        Applies the configured per-query timeout to the wait: a caller
+        never blocks longer than the deadline it was promised, even if a
+        worker is still grinding on its query.
+        """
+        future = self.submit(query)
+        if self.config.timeout is None:
+            return future.result()
+        try:
+            return future.result(timeout=self.config.timeout)
+        except FutureTimeout:
+            self.metrics.counter("queries.timed_out").inc()
+            raise QueryTimeout(self.config.timeout, queued=False) from None
+
+    def search_batch(self, queries: Sequence[TopKQuery]) -> List[List[Any]]:
+        """Execute many queries through the pool; results in input order.
+
+        Submission blocks for admission (backpressure) instead of
+        shedding, so arbitrarily large batches flow through the bounded
+        queue.  The first query failure (e.g. a queued-deadline expiry)
+        propagates after all submissions complete.
+        """
+        futures = [self.submit(query, block=True) for query in queries]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Mutations (exclusive with respect to queries)
+    # ------------------------------------------------------------------
+    def insert(self, *args, **kwargs):
+        """Insert under the write lock: ``insert_document(doc)`` on an
+        index target, ``add(doc_id, x, y, text)`` on a database target.
+
+        The index epoch bump makes every cached result stale (the
+        read-through cache validates epochs), so queries after the
+        insert always see it.
+        """
+        op = self._db.add if self._db is not None else self._index.insert_document
+        return self.mutate(lambda _target: op(*args, **kwargs))
+
+    def delete(self, *args, **kwargs):
+        """Delete under the write lock: ``delete_document(doc)`` on an
+        index target, ``remove(doc_id)`` on a database target."""
+        op = (
+            self._db.remove if self._db is not None else self._index.delete_document
+        )
+        return self.mutate(lambda _target: op(*args, **kwargs))
+
+    def mutate(self, fn):
+        """Run ``fn(target)`` holding the exclusive lock.
+
+        The escape hatch for compound mutations (move, reweigh, bulk
+        import): no query runs while ``fn`` does.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        self._rwlock.acquire_write()
+        try:
+            result = fn(self.target)
+        finally:
+            self._rwlock.release_write()
+        self.metrics.counter("mutations").inc()
+        return result
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is _SHUTDOWN:
+                return
+            self.metrics.gauge("queue.depth").dec()
+            now = time.monotonic()
+            if task.deadline is not None and now >= task.deadline:
+                # Expired while queued: shed the work, fail the waiter.
+                self.metrics.counter("queries.timed_out").inc()
+                self._admission.release()
+                task.future.set_exception(
+                    QueryTimeout(self.config.timeout, queued=True)
+                )
+                continue
+            self.metrics.histogram("queue_wait_ms").observe(
+                (now - task.enqueued) * 1000.0
+            )
+            self.metrics.gauge("queries.inflight").inc()
+            try:
+                started = time.monotonic()
+                result = self._execute(task.query)
+                self.metrics.histogram("latency_ms").observe(
+                    (time.monotonic() - started) * 1000.0
+                )
+                self.metrics.counter("queries.completed").inc()
+                task.future.set_result(result)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+                self.metrics.counter("queries.failed").inc()
+                task.future.set_exception(exc)
+            finally:
+                self.metrics.gauge("queries.inflight").dec()
+                self._admission.release()
+
+    def _execute(self, query: TopKQuery) -> List[Any]:
+        """One query under the shared lock, with per-query I/O metrics."""
+        local = IOStats()
+        self._rwlock.acquire_read()
+        try:
+            with self._index.stats.tee(local):
+                if self._db is not None:
+                    result = self._db.search(
+                        query.x,
+                        query.y,
+                        list(query.words),
+                        k=query.k,
+                        semantics=query.semantics,
+                        alpha=self._ranker.alpha,
+                        cache=self.cache,
+                    )
+                else:
+                    result = self._index.query(
+                        query, self._ranker, cache=self.cache
+                    )
+        finally:
+            self._rwlock.release_read()
+        self.metrics.histogram("io.reads_per_query").observe(
+            local.snapshot().total_reads
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Everything observable about the service, as one plain dict.
+
+        Merges the metrics registry (counters/gauges/histograms), the
+        result-cache counters, the shared buffer pool's counters (when
+        the index has one) and derived service-level figures (uptime,
+        completed queries per second).
+        """
+        snapshot = self.metrics.as_dict()
+        uptime = time.monotonic() - self._started
+        completed = snapshot["counters"].get("queries.completed", 0)
+        snapshot["service"] = {
+            "workers": self.config.workers,
+            "max_pending": self.config.max_pending,
+            "timeout_s": self.config.timeout,
+            "uptime_s": uptime,
+            "qps": completed / uptime if uptime > 0 else 0.0,
+            "closed": self._closed,
+        }
+        if self.cache is not None:
+            snapshot["cache"] = self.cache.stats()
+        pool = self._index.data.buffer
+        if pool is not None:
+            reads, misses, writes = pool.counters()
+            snapshot["buffer_pool"] = {
+                "capacity": pool.capacity,
+                "cached_pages": pool.cached_pages,
+                "logical_reads": reads,
+                "hits": reads - misses,
+                "misses": misses,
+                "logical_writes": writes,
+                "hit_ratio": 1.0 - misses / reads if reads else 0.0,
+            }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (default) already-admitted queries finish
+        first; with ``drain=False`` queued queries fail with
+        :class:`ServiceClosed` without executing.  ``timeout`` bounds
+        the per-worker join.  Idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            # Fail everything still queued; sentinels go in behind them.
+            cancelled: List[_Task] = []
+            while True:
+                try:
+                    task = self._queue.get_nowait()
+                except Exception:
+                    break
+                if task is _SHUTDOWN:
+                    continue
+                cancelled.append(task)
+            for task in cancelled:
+                self.metrics.gauge("queue.depth").dec()
+                self._admission.release()
+                task.future.set_exception(ServiceClosed("service closed"))
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._workers:
+            thread.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

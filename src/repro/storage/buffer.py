@@ -8,12 +8,32 @@ hits from memory (a *logical* access, not counted against the disk), and
 only forwards misses and dirty evictions to the underlying file (the
 *physical* I/O that experiments report).  :meth:`clear` is the
 "clear the system cache" step between query sets.
+
+Thread-safety contract
+----------------------
+One :class:`BufferPool` may be shared by any number of concurrently
+executing queries (the serving layer in :mod:`repro.service` runs all
+its workers against a single pool).  Every operation — reads, writes,
+allocation, eviction, flush, clear — runs under one internal lock, so:
+
+* the LRU structure and the dirty set never see interleaved updates;
+* the counters ``logical_reads``, ``misses`` and ``logical_writes``
+  are mutated atomically with the cache operation they describe, so the
+  invariant ``hits + misses == logical_reads`` holds at every instant;
+* :meth:`counters` returns a mutually consistent snapshot of all three,
+  and :attr:`hit_ratio` is computed from such a snapshot (never from a
+  half-updated pair).
+
+The lock serialises page access; concurrency is between queries, not
+within one page operation — the same granularity a latch on a real
+buffer pool provides.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Set
+from typing import Set, Tuple
 
 from repro.storage.pager import PageFile
 
@@ -33,9 +53,11 @@ class BufferPool:
         "capacity",
         "_cache",
         "_dirty",
+        "_lock",
         "logical_reads",
         "logical_writes",
         "misses",
+        "fill_reads",
     )
 
     def __init__(self, file: PageFile, capacity: int = 128) -> None:
@@ -45,9 +67,11 @@ class BufferPool:
         self.capacity = capacity
         self._cache: "OrderedDict[int, bytearray]" = OrderedDict()
         self._dirty: Set[int] = set()
+        self._lock = threading.RLock()
         self.logical_reads = 0
         self.logical_writes = 0
         self.misses = 0
+        self.fill_reads = 0
 
     # ------------------------------------------------------------------
     # PageFile-compatible interface
@@ -69,33 +93,52 @@ class BufferPool:
 
     def allocate(self) -> int:
         """Allocate a page in the backing file and cache it as clean."""
-        page_id = self.file.allocate()
-        self._install(page_id, bytearray(self.file.page_size))
-        return page_id
+        with self._lock:
+            page_id = self.file.allocate()
+            self._install(page_id, bytearray(self.file.page_size))
+            return page_id
 
     def read(self, page_id: int) -> bytes:
         """Read a page, from cache if possible (miss costs one disk read)."""
-        self.logical_reads += 1
-        cached = self._cache.get(page_id)
-        if cached is not None:
-            self._cache.move_to_end(page_id)
-            return bytes(cached)
-        self.misses += 1
-        data = bytearray(self.file.read(page_id))
-        self._install(page_id, data)
-        return bytes(data)
+        with self._lock:
+            self.logical_reads += 1
+            cached = self._cache.get(page_id)
+            if cached is not None:
+                self._cache.move_to_end(page_id)
+                return bytes(cached)
+            self.misses += 1
+            data = bytearray(self.file.read(page_id))
+            self._install(page_id, data)
+            return bytes(data)
 
     def write(self, page_id: int, data: bytes) -> None:
-        """Write a page into the cache; it reaches disk on evict/flush."""
+        """Write a page into the cache; it reaches disk on evict/flush.
+
+        A write shorter than the page size is a *partial* page write: the
+        remaining tail bytes keep their current on-page value.  When the
+        page is not cached this requires a read-modify-write — one disk
+        read (counted as ``fill_reads``, not as a cache miss) to fetch
+        the existing image before patching the prefix.  Callers that
+        always write full pages never pay it.
+        """
         if len(data) > self.file.page_size:
             raise ValueError(
                 f"data of {len(data)} bytes exceeds page size {self.file.page_size}"
             )
-        self.logical_writes += 1
-        page = bytearray(self.file.page_size)
-        page[: len(data)] = data
-        self._install(page_id, page)
-        self._dirty.add(page_id)
+        with self._lock:
+            self.logical_writes += 1
+            if len(data) == self.file.page_size:
+                page = bytearray(data)
+            else:
+                cached = self._cache.get(page_id)
+                if cached is not None:
+                    page = cached
+                else:
+                    self.fill_reads += 1
+                    page = bytearray(self.file.read(page_id))
+                page[: len(data)] = data
+            self._install(page_id, page)
+            self._dirty.add(page_id)
 
     # ------------------------------------------------------------------
     # Cache management
@@ -117,24 +160,40 @@ class BufferPool:
 
     def flush(self) -> None:
         """Write every dirty cached page back to disk (stays cached)."""
-        for page_id in sorted(self._dirty):
-            self.file.write(page_id, bytes(self._cache[page_id]))
-        self._dirty.clear()
+        with self._lock:
+            for page_id in sorted(self._dirty):
+                self.file.write(page_id, bytes(self._cache[page_id]))
+            self._dirty.clear()
 
     def clear(self) -> None:
         """Flush then drop the whole cache — the paper's pre-query-set
         "clear the system cache" step, making subsequent reads cold."""
-        self.flush()
-        self._cache.clear()
+        with self._lock:
+            self.flush()
+            self._cache.clear()
 
     @property
     def cached_pages(self) -> int:
         """Number of pages currently held in the cache."""
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
+
+    def counters(self) -> Tuple[int, int, int]:
+        """A consistent ``(logical_reads, misses, logical_writes)``
+        triple, taken atomically with respect to cache operations."""
+        with self._lock:
+            return (self.logical_reads, self.misses, self.logical_writes)
+
+    @property
+    def hits(self) -> int:
+        """Logical reads served from the cache so far."""
+        with self._lock:
+            return self.logical_reads - self.misses
 
     @property
     def hit_ratio(self) -> float:
         """Fraction of logical reads served without disk I/O so far."""
-        if self.logical_reads == 0:
+        reads, misses, _ = self.counters()
+        if reads == 0:
             return 0.0
-        return 1.0 - self.misses / self.logical_reads
+        return 1.0 - misses / reads

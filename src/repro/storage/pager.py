@@ -7,10 +7,19 @@ pages in memory, measures its size exactly (pages x page size), and
 records every read and write against a named component in an
 :class:`~repro.storage.iostats.IOStats` — giving deterministic,
 hardware-independent I/O numbers.
+
+Thread-safety contract: a :class:`PageFile` may be shared by
+concurrent readers and writers.  Page allocation and every page
+read/write happens under an internal lock, so reads always observe a
+complete page image (never a torn write) and concurrent allocations
+never hand out the same page id.  Callers needing a consistent cache
+on top of the file should share one :class:`~repro.storage.buffer.BufferPool`,
+which holds its own lock.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
 from repro.storage.iostats import IOStats
@@ -36,7 +45,7 @@ class PageFile:
         stats: The shared I/O counter sink.
     """
 
-    __slots__ = ("page_size", "component", "stats", "_pages")
+    __slots__ = ("page_size", "component", "stats", "_pages", "_lock")
 
     def __init__(
         self,
@@ -50,14 +59,16 @@ class PageFile:
         self.component = component
         self.stats = stats if stats is not None else IOStats()
         self._pages: List[bytearray] = []
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Allocation and size accounting
     # ------------------------------------------------------------------
     def allocate(self) -> int:
         """Allocate a fresh zeroed page and return its id (no I/O cost)."""
-        self._pages.append(bytearray(self.page_size))
-        return len(self._pages) - 1
+        with self._lock:
+            self._pages.append(bytearray(self.page_size))
+            return len(self._pages) - 1
 
     @property
     def num_pages(self) -> int:
@@ -80,9 +91,11 @@ class PageFile:
     # ------------------------------------------------------------------
     def read(self, page_id: int) -> bytes:
         """Read one page; costs one read I/O."""
-        self._check(page_id)
+        with self._lock:
+            self._check(page_id)
+            data = bytes(self._pages[page_id])
         self.stats.record_read(self.component, key=page_id)
-        return bytes(self._pages[page_id])
+        return data
 
     def write(self, page_id: int, data: bytes) -> None:
         """Overwrite one page; costs one write I/O.
@@ -90,13 +103,14 @@ class PageFile:
         ``data`` may be shorter than the page (the rest stays zeroed after
         being cleared) but never longer.
         """
-        self._check(page_id)
         if len(data) > self.page_size:
             raise ValueError(
                 f"data of {len(data)} bytes exceeds page size {self.page_size}"
             )
+        with self._lock:
+            self._check(page_id)
+            page = self._pages[page_id]
+            page[: len(data)] = data
+            if len(data) < self.page_size:
+                page[len(data):] = bytes(self.page_size - len(data))
         self.stats.record_write(self.component, key=page_id)
-        page = self._pages[page_id]
-        page[: len(data)] = data
-        if len(data) < self.page_size:
-            page[len(data):] = bytes(self.page_size - len(data))

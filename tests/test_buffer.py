@@ -116,6 +116,86 @@ class TestBufferPool:
         assert pool.size_bytes == pool.file.size_bytes
 
 
+class TestPartialWrites:
+    """Regression: a short write must only touch its prefix.
+
+    ``BufferPool.write`` used to install a zero-filled page for partial
+    writes, silently clobbering the unwritten tail of an uncached page.
+    It now read-modify-writes: the existing page image is loaded (cache
+    first, disk if needed) and only ``len(data)`` bytes are replaced.
+    """
+
+    def test_partial_write_preserves_cached_tail(self):
+        pool, _ = make_pool(capacity=4, page_size=8)
+        a = pool.allocate()
+        pool.write(a, b"ABCDEFGH")
+        pool.write(a, b"xy")
+        assert pool.read(a) == b"xyCDEFGH"
+        assert pool.fill_reads == 0  # page image was in the pool
+
+    def test_partial_write_to_uncached_page_reads_from_disk(self):
+        pool, stats = make_pool(capacity=4, page_size=8)
+        a = pool.allocate()
+        pool.write(a, b"ABCDEFGH")
+        pool.clear()  # flushes, then drops the cached image
+        stats.reset()
+        pool.write(a, b"xy")
+        assert pool.read(a) == b"xyCDEFGH"  # tail survived the short write
+        assert pool.fill_reads == 1
+        assert stats.reads("disk") == 1  # exactly the fill read
+
+    def test_fill_read_does_not_skew_hit_accounting(self):
+        pool, _ = make_pool(capacity=4, page_size=8)
+        a = pool.allocate()
+        pool.write(a, b"ABCDEFGH")
+        pool.clear()
+        pool.write(a, b"xy")  # fill read, NOT a logical read/miss
+        pool.read(a)          # hit (the RMW installed the page)
+        reads, misses, writes = pool.counters()
+        assert (reads, misses) == (1, 0)
+        assert pool.hits + pool.misses == pool.logical_reads
+        assert writes == 2  # the two pool.write calls; the fill is neither
+
+    def test_partial_write_roundtrip_through_eviction(self):
+        pool, _ = make_pool(capacity=1, page_size=8)
+        a = pool.allocate()
+        pool.write(a, b"ABCDEFGH")
+        b = pool.allocate()  # evicts a (dirty -> written back)
+        pool.write(a, b"xy")  # evicts b; RMW fills a from disk
+        pool.write(b, b"Q")
+        assert pool.read(a) == b"xyCDEFGH"
+        assert pool.read(b)[:1] == b"Q"
+
+    def test_concurrent_reads_keep_counters_consistent(self):
+        import threading
+
+        pool, stats = make_pool(capacity=8, page_size=16)
+        pages = [pool.allocate() for _ in range(32)]
+        for pid in pages:
+            pool.write(pid, bytes([pid]) * 16)
+        pool.clear()
+        stats.reset()
+
+        def reader(seed):
+            import random as _random
+
+            rng = _random.Random(seed)
+            for _ in range(500):
+                pid = rng.choice(pages)
+                assert pool.read(pid) == bytes([pid]) * 16
+
+        threads = [threading.Thread(target=reader, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        reads, misses, _ = pool.counters()
+        assert reads == 8 * 500  # no lost logical-read increments
+        assert pool.hits + misses == reads
+        assert stats.reads("disk") == misses  # every miss hit the disk once
+
+
 class TestBufferedI3:
     """The optional I3 data-file buffer pool: hits are free, clear_cache
     restores the paper's cold-cache measurement conditions."""

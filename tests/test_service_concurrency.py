@@ -1,0 +1,181 @@
+"""Stress tests: the serving layer under real thread concurrency.
+
+The acceptance bar for the service is that concurrency changes
+throughput only, never answers or accounting: batch results through
+>= 8 workers must be byte-identical to sequential ``I3Index.query``
+execution, and the shared buffer pool / I/O counters must not lose
+updates (hits + misses == logical reads, physical reads == pool
+misses).
+"""
+
+import random
+import threading
+
+from repro.core.index import I3Index
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.service import QueryService, ServiceConfig, ServiceOverloaded
+from repro.spatial.geometry import UNIT_SQUARE
+from tests.helpers import DEFAULT_VOCAB, make_documents, results_as_pairs
+
+
+def _build_index(rng, docs=160, buffer_pages=32):
+    """A populated index with a deliberately small buffer pool so cold
+    queries actually miss and evict."""
+    index = I3Index(UNIT_SQUARE, page_size=256, buffer_pages=buffer_pages)
+    for doc in make_documents(docs, rng):
+        index.insert_document(doc)
+    return index
+
+
+def _mixed_workload(rng, count=400, distinct=60):
+    """A skewed hot/cold request stream: few hot query shapes dominate,
+    with a long cold tail (the FAST paper's workload shape)."""
+    shapes = []
+    for _ in range(distinct):
+        words = tuple(rng.sample(DEFAULT_VOCAB, rng.randint(1, 3)))
+        shapes.append(
+            TopKQuery(
+                rng.random(),
+                rng.random(),
+                words,
+                k=rng.randint(1, 10),
+                semantics=Semantics.OR,
+            )
+        )
+    weights = [1.0 / (rank + 1) for rank in range(distinct)]
+    return rng.choices(shapes, weights=weights, k=count)
+
+
+class TestStressAgainstSequential:
+    def test_batch_results_identical_and_no_lost_io(self):
+        rng = random.Random(7)
+        index = _build_index(rng)
+        requests = _mixed_workload(random.Random(13))
+        ranker = Ranker(UNIT_SQUARE, alpha=0.5)
+        pool = index.data.buffer
+
+        base_logical = pool.counters()[0]
+        base_head = index.stats.reads("i3.head")
+        expected = [results_as_pairs(index.query(q, ranker)) for q in requests]
+        seq_logical = pool.counters()[0] - base_logical
+        seq_head = index.stats.reads("i3.head") - base_head
+
+        pre_reads, pre_misses, _ = pool.counters()
+        pre_fills = pool.fill_reads
+        pre_physical = index.stats.reads("i3.data")
+
+        # Cache disabled: every request must actually execute concurrently.
+        config = ServiceConfig(workers=12, max_pending=48, cache_capacity=0)
+        with QueryService(index, config, ranker=ranker) as service:
+            got = [results_as_pairs(r) for r in service.search_batch(requests)]
+            snap = service.metrics_snapshot()
+
+        assert got == expected
+
+        reads, misses, _ = pool.counters()
+        # Same logical work as the sequential pass: no lost increments.
+        assert reads - pre_reads == seq_logical
+        assert index.stats.reads("i3.head") - base_head == 2 * seq_head
+        # Pool counters are internally consistent...
+        assert pool.hits + misses == reads
+        assert snap["buffer_pool"]["hits"] + snap["buffer_pool"]["misses"] == (
+            snap["buffer_pool"]["logical_reads"]
+        )
+        # ...and consistent with the layer below: every pool miss (or
+        # partial-write fill) is exactly one physical page read.
+        physical = index.stats.reads("i3.data") - pre_physical
+        assert physical == (misses - pre_misses) + (pool.fill_reads - pre_fills)
+        assert snap["counters"]["queries.completed"] == len(requests)
+
+    def test_hot_cold_with_result_cache(self):
+        rng = random.Random(21)
+        index = _build_index(rng, docs=120)
+        requests = _mixed_workload(random.Random(22), count=300, distinct=40)
+        ranker = Ranker(UNIT_SQUARE)
+
+        expected = [results_as_pairs(index.query(q, ranker)) for q in requests]
+
+        config = ServiceConfig(workers=8, max_pending=32, cache_capacity=128)
+        with QueryService(index, config, ranker=ranker) as service:
+            got = [results_as_pairs(r) for r in service.search_batch(requests)]
+            cache = service.cache.stats()
+
+        assert got == expected
+        # One cache lookup per request, none lost to races.
+        assert cache["hits"] + cache["misses"] == len(requests)
+        assert cache["hits"] > 0  # the hot head of the stream repeats
+
+    def test_reads_interleaved_with_mutations(self):
+        rng = random.Random(3)
+        index = _build_index(rng, docs=100)
+        ranker = Ranker(UNIT_SQUARE)
+        requests = _mixed_workload(random.Random(5), count=200, distinct=30)
+        new_docs = make_documents(30, rng, start_id=10_000)
+        errors = []
+
+        config = ServiceConfig(workers=8, max_pending=64)
+        with QueryService(index, config, ranker=ranker) as service:
+
+            def reader(chunk):
+                for query in chunk:
+                    try:
+                        service.search(query)
+                    except Exception as exc:  # noqa: BLE001 - collected
+                        errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, args=(requests[i::4],))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for doc in new_docs:
+                service.insert(doc)
+            for t in threads:
+                t.join()
+
+            assert errors == []
+            assert index.num_documents == 130
+            # After the dust settles: the service (cache included) agrees
+            # with direct sequential execution on the mutated index.
+            for query in requests[:10]:
+                assert results_as_pairs(service.search(query)) == results_as_pairs(
+                    index.query(query, ranker)
+                )
+
+    def test_shedding_accounting_under_contention(self):
+        index = _build_index(random.Random(1), docs=60)
+        requests = _mixed_workload(random.Random(2), count=300, distinct=40)
+        config = ServiceConfig(workers=8, max_pending=8, cache_capacity=0)
+        outcomes = {"ok": 0, "shed": 0}
+        lock = threading.Lock()
+
+        with QueryService(index, config) as service:
+
+            def pump(chunk):
+                for query in chunk:
+                    try:
+                        result = service.submit(query).result(timeout=30)
+                        assert result is not None
+                        with lock:
+                            outcomes["ok"] += 1
+                    except ServiceOverloaded:
+                        with lock:
+                            outcomes["shed"] += 1
+
+            threads = [
+                threading.Thread(target=pump, args=(requests[i::12],))
+                for i in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            snap = service.metrics_snapshot()
+
+        counters = snap["counters"]
+        assert outcomes["ok"] + outcomes["shed"] == len(requests)
+        assert counters["queries.submitted"] == len(requests)
+        assert counters.get("queries.shed", 0) == outcomes["shed"]
+        assert counters["queries.completed"] == outcomes["ok"]
