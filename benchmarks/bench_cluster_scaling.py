@@ -1,0 +1,183 @@
+"""Cluster scaling: scatter-gather throughput vs shard count.
+
+Sweeps the :class:`repro.cluster.ClusterService` over 1/2/4/8 shards for
+both partitioners (hash and spatial quadtree-leaf) against the same
+FREQ workload (half AND, half OR), and writes the machine-readable
+sweep to ``BENCH_cluster.json`` at the repository root (the artifact CI
+uploads).
+
+The cluster result cache is disabled so every request exercises the
+routing and scatter path — the sweep measures shard skipping
+(keyword-absent plus bound-pruned visits avoided), not cache hits.
+
+Shape assertions: every configuration returns answers byte-identical to
+the single monolithic index (sharding must never change results), every
+sweep point reports positive qps, and no answer is ever degraded.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.cluster import (
+    ClusterConfig,
+    ClusterService,
+    HashPartitioner,
+    SpatialGridPartitioner,
+)
+from repro.model.query import Semantics
+from repro.model.scoring import Ranker
+from repro.service import ServiceConfig
+
+SHARDS = (1, 2, 4, 8)
+PARTITIONERS = ("hash", "spatial")
+DATASET = "Twitter1M"
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+_results: Dict[Tuple[str, int], dict] = {}
+_answers: Dict[Tuple[str, int], list] = {}
+_baseline: Dict[str, list] = {}
+
+
+def _requests(querylog_factory, profile):
+    """FREQ_2 shapes, half under AND and half under OR semantics."""
+    shapes = querylog_factory(DATASET).freq(2, count=40).queries
+    half = len(shapes) // 2
+    return [
+        q.with_semantics(Semantics.AND) if i < half else q
+        for i, q in enumerate(shapes)
+    ] * max(1, profile.queries_per_set // 10)
+
+
+def _mono_answers(built_factory, requests, ranker):
+    """The single-index ground truth every cluster must reproduce."""
+    if "answers" not in _baseline:
+        index = built_factory("I3", DATASET).index
+        _baseline["answers"] = [
+            [(r.doc_id, round(r.score, 9)) for r in index.query(q, ranker)]
+            for q in requests
+        ]
+    return _baseline["answers"]
+
+
+def _partitioner(kind: str, shards: int, corpus):
+    if kind == "hash":
+        return HashPartitioner(shards, corpus.space)
+    return SpatialGridPartitioner.from_documents(
+        shards, corpus.space, corpus.documents
+    )
+
+
+@pytest.mark.parametrize("shards", SHARDS)
+@pytest.mark.parametrize("kind", PARTITIONERS)
+@pytest.mark.benchmark(group="cluster-scaling")
+def test_cluster_scaling(
+    benchmark, built_factory, corpus_factory, querylog_factory, profile, kind, shards
+):
+    corpus = corpus_factory(DATASET)
+    requests = _requests(querylog_factory, profile)
+    ranker = Ranker(corpus.space, 0.5)
+    expected = _mono_answers(built_factory, requests, ranker)
+    config = ClusterConfig(
+        replicas=1,
+        scatter_width=min(4, shards),
+        cache_capacity=0,
+        shard_config=ServiceConfig(
+            workers=1, cache_capacity=0, metrics_seed=profile.seed
+        ),
+        metrics_seed=profile.seed,
+    )
+
+    def run():
+        cluster = ClusterService.build(
+            corpus.documents, _partitioner(kind, shards, corpus), config,
+            ranker=ranker,
+        )
+        with cluster:
+            start = time.perf_counter()
+            answers = [cluster.search(q) for q in requests]
+            wall = time.perf_counter() - start
+            snapshot = cluster.metrics_snapshot()
+        return wall, snapshot, answers
+
+    wall, snapshot, answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not any(a.degraded for a in answers)
+    _answers[(kind, shards)] = [
+        [(r.doc_id, round(r.score, 9)) for r in a.results] for a in answers
+    ]
+    assert _answers[(kind, shards)] == expected, (
+        f"{kind}/{shards}: sharded answers diverge from the single index"
+    )
+    counters = snapshot["counters"]
+    latency = snapshot["histograms"]["cluster.latency_ms"]
+    queried = counters.get("cluster.shards_queried", 0)
+    skipped = counters.get("cluster.shards_pruned", 0) + counters.get(
+        "cluster.shards_no_candidates", 0
+    )
+    visits = queried + skipped
+    _results[(kind, shards)] = {
+        "partitioner": kind,
+        "shards": shards,
+        "queries": len(requests),
+        "wall_seconds": wall,
+        "qps": len(requests) / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": latency["p50"],
+            "p95": latency["p95"],
+            "p99": latency["p99"],
+            "mean": latency["mean"],
+        },
+        "shards_queried": queried,
+        "shards_pruned": counters.get("cluster.shards_pruned", 0),
+        "shards_no_candidates": counters.get("cluster.shards_no_candidates", 0),
+        "skip_ratio": skipped / visits if visits else 0.0,
+    }
+
+
+@pytest.mark.benchmark(group="cluster-scaling")
+def test_cluster_report(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Cluster scaling — scatter-gather qps and shard-skip ratio vs "
+        f"shard count ({DATASET}, FREQ_2 AND+OR, cache off)",
+        ["partitioner", "shards", "qps", "p95 ms", "queried", "skipped %"],
+    )
+    measured = [key for key in _results]
+    for kind, shards in sorted(measured):
+        row = _results[(kind, shards)]
+        table.add_row(
+            kind,
+            shards,
+            round(row["qps"], 1),
+            round(row["latency_ms"]["p95"], 3),
+            row["shards_queried"],
+            round(100.0 * row["skip_ratio"], 1),
+        )
+    collect(table.render())
+
+    for key in measured:
+        row = _results[key]
+        assert row["qps"] > 0
+        assert row["latency_ms"]["p99"] >= row["latency_ms"]["p50"] >= 0
+        # A shard never visits more than shards-per-query times the
+        # stream length; skipping only ever reduces visits.
+        assert row["shards_queried"] <= row["queries"] * row["shards"]
+
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "cluster-scaling",
+                "dataset": DATASET,
+                "profile": profile.name,
+                "sweep": [_results[key] for key in sorted(measured)],
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -237,6 +237,120 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_bench_queries(corpus, args: argparse.Namespace) -> List[TopKQuery]:
+    """A skewed request stream over the corpus vocabulary (the cluster
+    analogue of the serve-bench stream — same Zipf-like repetition)."""
+    rng = random.Random(args.seed)
+    words = sorted(corpus.vocabulary.words())
+    if not words:
+        raise SystemExit("corpus has no keywords to query")
+    semantics = Semantics.AND if args.semantics == "and" else Semantics.OR
+    distinct = max(1, args.queries // max(1, args.skew))
+    shapes = []
+    for _ in range(distinct):
+        qn = rng.randint(1, min(3, len(words)))
+        shapes.append(
+            TopKQuery(
+                rng.uniform(corpus.space.min_x, corpus.space.max_x),
+                rng.uniform(corpus.space.min_y, corpus.space.max_y),
+                tuple(rng.sample(words, qn)),
+                k=args.k,
+                semantics=semantics,
+            )
+        )
+    weights = [1.0 / rank for rank in range(1, len(shapes) + 1)]
+    return rng.choices(shapes, weights=weights, k=args.queries)
+
+
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterService,
+        HashPartitioner,
+        SpatialGridPartitioner,
+    )
+    from repro.service import ServiceConfig
+
+    corpus = TwitterLikeGenerator(args.docs, seed=args.seed).generate()
+    if args.partitioner == "hash":
+        partitioner = HashPartitioner(args.shards, corpus.space)
+    else:
+        partitioner = SpatialGridPartitioner.from_documents(
+            args.shards, corpus.space, corpus.documents
+        )
+    config = ClusterConfig(
+        replicas=args.replicas,
+        scatter_width=args.scatter_width,
+        cache_capacity=args.cache,
+        shard_config=ServiceConfig(
+            workers=args.workers, cache_capacity=0, metrics_seed=args.seed
+        ),
+        metrics_seed=args.seed,
+    )
+    queries = _shard_bench_queries(corpus, args)
+    ranker = Ranker(corpus.space, alpha=args.alpha)
+    degraded = 0
+    start = time.perf_counter()
+    with ClusterService.build(
+        corpus.documents, partitioner, config, ranker=ranker
+    ) as cluster:
+        kill_at = len(queries) // 2 if args.kill else None
+        for i, query in enumerate(queries):
+            if kill_at is not None and i == kill_at:
+                # Fault injection half-way: dead primaries exercise the
+                # failover path for the rest of the run.
+                for sid in range(min(args.kill, args.shards)):
+                    cluster.replica(sid, 0).kill()
+            if cluster.search(query).degraded:
+                degraded += 1
+        elapsed = time.perf_counter() - start
+        snapshot = cluster.metrics_snapshot()
+        if args.manifest_out:
+            cluster.save_manifest(args.manifest_out)
+    snapshot["cluster"]["wall_seconds"] = elapsed
+    snapshot["cluster"]["qps"] = len(queries) / elapsed if elapsed > 0 else 0.0
+    snapshot["cluster"]["degraded_answers"] = degraded
+    if args.json:
+        json.dump(snapshot, sys.stdout, indent=2)
+        print()
+    else:
+        counters = snapshot["counters"]
+        latency = snapshot["histograms"]["cluster.latency_ms"]
+        print(
+            f"{len(queries)} queries over {args.shards} {args.partitioner} "
+            f"shards x{args.replicas}: {snapshot['cluster']['qps']:.0f} q/s "
+            f"in {elapsed:.2f}s"
+        )
+        print(
+            f"latency ms  p50 {latency['p50']:.2f}  p95 {latency['p95']:.2f}  "
+            f"p99 {latency['p99']:.2f}  (mean {latency['mean']:.2f})"
+        )
+        queried = counters.get("cluster.shards_queried", 0)
+        pruned = counters.get("cluster.shards_pruned", 0)
+        no_cand = counters.get("cluster.shards_no_candidates", 0)
+        total = queried + pruned + no_cand
+        skip_pct = 100.0 * (pruned + no_cand) / total if total else 0.0
+        print(
+            f"shard visits: {queried} queried, {pruned} bound-pruned, "
+            f"{no_cand} keyword-absent ({skip_pct:.0f}% skipped)"
+        )
+        print(
+            f"failovers: {counters.get('cluster.failovers', 0)}  "
+            f"attempt failures: {counters.get('cluster.attempt_failures', 0)}  "
+            f"degraded answers: {degraded}"
+        )
+        cache = snapshot.get("cache")
+        if cache:
+            print(
+                f"result cache: {cache['hits']} hits / "
+                f"{cache['hits'] + cache['misses']} lookups "
+                f"({100 * cache['hit_ratio']:.0f}%)"
+            )
+        if args.manifest_out:
+            print(f"manifest -> {args.manifest_out}", file=sys.stderr)
+    return 0
+
+
 def _parse_point(text: str):
     try:
         x_str, y_str = text.split(",")
@@ -334,6 +448,50 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", action="store_true", help="JSON metrics output")
     serve.set_defaults(func=_cmd_serve_bench)
+
+    shard = sub.add_parser(
+        "shard-bench",
+        help="drive a sharded cluster and report scatter-gather metrics",
+    )
+    shard.add_argument(
+        "--docs", type=int, default=2000,
+        help="size of the generated twitter-like corpus",
+    )
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--replicas", type=int, default=1)
+    shard.add_argument(
+        "--partitioner", choices=["hash", "spatial"], default="hash"
+    )
+    shard.add_argument(
+        "--scatter-width", type=int, default=2,
+        help="shards queried concurrently per gather wave",
+    )
+    shard.add_argument("--queries", type=int, default=400)
+    shard.add_argument(
+        "--skew", type=int, default=4,
+        help="requests per distinct query shape (higher = hotter workload)",
+    )
+    shard.add_argument("--k", type=int, default=10)
+    shard.add_argument("--semantics", choices=["and", "or"], default="or")
+    shard.add_argument("--alpha", type=float, default=0.5)
+    shard.add_argument(
+        "--workers", type=int, default=2, help="query workers per shard replica"
+    )
+    shard.add_argument(
+        "--cache", type=int, default=256,
+        help="cluster result-cache entries (0 disables)",
+    )
+    shard.add_argument(
+        "--kill", type=int, default=0,
+        help="primaries to kill half-way through (exercises failover; "
+        "needs --replicas >= 2 to stay non-degraded)",
+    )
+    shard.add_argument(
+        "--manifest-out", help="write the shard manifest JSON here"
+    )
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--json", action="store_true", help="JSON metrics output")
+    shard.set_defaults(func=_cmd_shard_bench)
 
     return parser
 

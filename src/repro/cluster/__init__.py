@@ -1,0 +1,41 @@
+"""Sharded cluster layer: partitioned I³ shards behind one router.
+
+``repro.cluster`` scales the single-index query service horizontally:
+a partitioner splits the corpus into whole-document shards (hash or
+spatial quadtree-leaf), each shard is served by one or more replicated
+:class:`~repro.service.QueryService` instances, and a
+:class:`ClusterService` scatter-gathers top-k queries with bound-based
+shard skipping and replica failover.  The partitioning is persisted in
+a :class:`ShardManifest` so a router restart routes identically.
+"""
+
+from repro.cluster.manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    ShardInfo,
+    ShardManifest,
+)
+from repro.cluster.partition import (
+    HashPartitioner,
+    SpatialGridPartitioner,
+    build_manifest,
+    partitioner_from_manifest,
+)
+from repro.cluster.replica import ReplicaFault, ShardReplica
+from repro.cluster.service import ClusterAnswer, ClusterConfig, ClusterService
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "ShardInfo",
+    "ShardManifest",
+    "HashPartitioner",
+    "SpatialGridPartitioner",
+    "build_manifest",
+    "partitioner_from_manifest",
+    "ReplicaFault",
+    "ShardReplica",
+    "ClusterAnswer",
+    "ClusterConfig",
+    "ClusterService",
+]

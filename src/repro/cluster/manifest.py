@@ -1,0 +1,147 @@
+"""Shard manifests: the persisted description of a partitioned cluster.
+
+A cluster deployment is more than its per-shard index files — a router
+restarted from disk must know *how* documents were split before it can
+route a single query or insert.  The manifest captures exactly that:
+the partitioner kind and its parameters (for the spatial partitioner,
+the quadtree-leaf -> shard assignment), the shard count, the replica
+count, the data space, and per-shard bookkeeping (document counts and
+optional index file paths).
+
+The format is JSON (one small file per cluster; see
+``docs/format_i3ix.md`` for the field-by-field layout) so manifests are
+diffable, hand-editable during operations, and language-agnostic —
+the same reasons the I3IX index format avoids pickle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.spatial.geometry import Rect
+
+__all__ = ["ShardInfo", "ShardManifest", "MANIFEST_FORMAT", "MANIFEST_VERSION"]
+
+MANIFEST_FORMAT = "i3-shard-manifest"
+MANIFEST_VERSION = 1
+
+
+@dataclass(slots=True)
+class ShardInfo:
+    """Per-shard bookkeeping carried by the manifest.
+
+    Attributes:
+        shard_id: Dense shard index, ``0 .. num_shards-1``.
+        num_documents: Documents assigned to the shard at manifest time.
+        index_path: Optional path of the shard's persisted ``.i3ix``
+            file (absent for in-memory deployments).
+    """
+
+    shard_id: int
+    num_documents: int = 0
+    index_path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "shard_id": self.shard_id,
+            "num_documents": self.num_documents,
+        }
+        if self.index_path is not None:
+            out["index_path"] = self.index_path
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardInfo":
+        return cls(
+            shard_id=int(data["shard_id"]),
+            num_documents=int(data.get("num_documents", 0)),
+            index_path=data.get("index_path"),
+        )
+
+
+@dataclass(slots=True)
+class ShardManifest:
+    """The persisted description of one partitioned deployment.
+
+    Attributes:
+        partitioner: Partitioner kind, ``"hash"`` or ``"spatial"``.
+        num_shards: Number of shards.
+        replicas: Replicas per shard (1 = primary only).
+        space: The data-space rectangle shared by every shard index.
+        shards: Per-shard bookkeeping, one entry per shard, id order.
+        params: Partitioner-specific parameters; for ``"spatial"`` the
+            quadtree-leaf assignment ``{"leaves": [[cell_id, shard], ...]}``.
+    """
+
+    partitioner: str
+    num_shards: int
+    replicas: int
+    space: Rect
+    shards: List[ShardInfo] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {self.num_shards}")
+        if self.replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {self.replicas}")
+        if self.partitioner not in ("hash", "spatial"):
+            raise ValueError(f"unknown partitioner kind {self.partitioner!r}")
+
+    # ------------------------------------------------------------------
+    # (De)serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "partitioner": self.partitioner,
+            "num_shards": self.num_shards,
+            "replicas": self.replicas,
+            "space": [
+                self.space.min_x,
+                self.space.min_y,
+                self.space.max_x,
+                self.space.max_y,
+            ],
+            "shards": [info.to_dict() for info in self.shards],
+            "params": self.params,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardManifest":
+        if data.get("format") != MANIFEST_FORMAT:
+            raise ValueError(
+                f"not a shard manifest (format {data.get('format')!r})"
+            )
+        if data.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported shard manifest version {data.get('version')!r}"
+            )
+        space_values: Tuple[float, ...] = tuple(float(v) for v in data["space"])
+        if len(space_values) != 4:
+            raise ValueError(f"bad manifest space {data['space']!r}")
+        return cls(
+            partitioner=data["partitioner"],
+            num_shards=int(data["num_shards"]),
+            replicas=int(data["replicas"]),
+            space=Rect(*space_values),
+            shards=[ShardInfo.from_dict(s) for s in data.get("shards", [])],
+            params=dict(data.get("params", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> None:
+        """Write the manifest as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ShardManifest":
+        """Read a manifest previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

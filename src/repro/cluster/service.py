@@ -1,0 +1,561 @@
+"""The cluster layer: scatter-gather top-k over partitioned I³ shards.
+
+One :class:`~repro.service.QueryService` serves one index; this module
+serves many.  A :class:`ClusterService` owns ``num_shards`` replica
+sets (each replica a full :class:`~repro.core.index.I3Index` behind its
+own query service, so admission control and worker pools are per
+shard), routes mutations through the partitioner, and answers top-k
+queries by scatter-gather with two correctness-preserving shortcuts:
+
+* **bound-based shard skipping** — every shard advertises, per query
+  keyword, the ``max_s`` upper bound the paper stores in its summary
+  nodes (:meth:`repro.core.index.I3Index.keyword_bounds`).  Combined
+  with the spatial upper bound of the shard's regions this bounds the
+  best score any of its documents can reach; shards are visited in
+  bound order and skipped once their bound falls strictly below the
+  current k-th best score — they could neither beat nor tie it, so the
+  merged answer is byte-identical to querying one monolithic index;
+* **replica failover** — a failed attempt (dead replica, injected
+  fault, attempt timeout, shed query) moves to the next replica,
+  healthy first, with exponential backoff between retry rounds.  A
+  shard degrades the answer only when *no* replica survives, and the
+  result is then explicitly flagged (:attr:`ClusterAnswer.degraded`) —
+  partial answers are never silently passed off as complete.
+
+Results are cached cluster-wide, stamped with the sum of shard epochs,
+so a mutation on any shard invalidates exactly like the single-index
+epoch cache.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.manifest import ShardManifest
+from repro.cluster.partition import build_manifest
+from repro.cluster.replica import ShardReplica
+from repro.core.index import I3Index
+from repro.model.query import Semantics, TopKQuery
+from repro.model.results import ScoredDoc, TopKCollector
+from repro.model.scoring import Ranker
+from repro.service.cache import QueryResultCache
+from repro.service.errors import ServiceClosed
+from repro.service.metrics import MetricsRegistry
+from repro.service.service import QueryService, ServiceConfig
+from repro.spatial.geometry import Rect
+
+__all__ = ["ClusterConfig", "ClusterAnswer", "ClusterService"]
+
+
+def _require_non_negative(name: str, value: Optional[float]) -> None:
+    if value is None:
+        return
+    if math.isnan(value) or value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tuning knobs of a :class:`ClusterService`.
+
+    Attributes:
+        replicas: Replicas per shard (1 = primary only, no failover).
+        scatter_width: Shards queried concurrently per gather wave.
+            Width 1 maximises bound-based skipping (every shard sees the
+            tightest possible threshold); larger widths trade wasted
+            shard work for lower latency.
+        attempt_timeout: Per-attempt budget in seconds against one
+            replica (``None`` = wait for the replica's own deadline).
+        retry_rounds: Extra passes over the replica set after the first
+            all-replicas sweep fails.
+        backoff: Base seconds slept before retry round ``n`` (doubles
+            each round); 0 disables sleeping.
+        failure_threshold: Consecutive failures that mark a replica
+            unhealthy (demoted in the attempt order).
+        cache_capacity: Cluster-wide result-cache entries; 0 disables.
+        shard_config: The :class:`~repro.service.ServiceConfig` given to
+            every replica's query service (per-shard admission limits
+            live here).
+        metrics_seed: Seed for metric histogram reservoirs.
+    """
+
+    replicas: int = 1
+    scatter_width: int = 2
+    attempt_timeout: Optional[float] = None
+    retry_rounds: int = 1
+    backoff: float = 0.005
+    failure_threshold: int = 2
+    cache_capacity: int = 128
+    shard_config: ServiceConfig = field(default_factory=ServiceConfig)
+    metrics_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {self.replicas}")
+        if self.scatter_width <= 0:
+            raise ValueError(
+                f"scatter_width must be positive, got {self.scatter_width}"
+            )
+        if self.attempt_timeout is not None and not self.attempt_timeout > 0:
+            # `not > 0` also rejects NaN, like ServiceConfig.timeout.
+            raise ValueError(
+                f"attempt_timeout must be positive, got {self.attempt_timeout}"
+            )
+        _require_non_negative("backoff", self.backoff)
+        if self.retry_rounds < 0:
+            raise ValueError(
+                f"retry_rounds must be >= 0, got {self.retry_rounds}"
+            )
+        if self.failure_threshold <= 0:
+            raise ValueError(
+                f"failure_threshold must be positive, got {self.failure_threshold}"
+            )
+        if self.cache_capacity < 0:
+            raise ValueError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterAnswer:
+    """One scatter-gather answer plus its completeness provenance.
+
+    Attributes:
+        results: The merged top-k, best first — byte-identical to a
+            single-index answer whenever ``degraded`` is False.
+        degraded: True when at least one shard that might have
+            contributed could not be reached on any replica; the
+            results are then a correct answer over the *surviving*
+            shards only.
+        failed_shards: Shard ids that contributed nothing (no replica
+            survived).
+        shards_queried: Shards actually executed against.
+        shards_skipped: Shards not executed — keyword-absent plus
+            bound-pruned (the scatter-gather saving).
+        from_cache: Served from the cluster result cache.
+    """
+
+    results: List[ScoredDoc]
+    degraded: bool
+    failed_shards: Tuple[int, ...] = ()
+    shards_queried: int = 0
+    shards_skipped: int = 0
+    from_cache: bool = False
+
+
+# Internal routing verdicts for one shard against one query.
+_ABSENT = "absent"  # no query keyword stored here — never a candidate
+
+
+class ClusterService:
+    """Scatter-gather top-k search over partitioned, replicated shards.
+
+    Construct with :meth:`build` (partition a corpus, build every
+    replica index) or directly from prebuilt replica sets.  Use as a
+    context manager or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        shards: List[List[ShardReplica]],
+        partitioner,
+        config: Optional[ClusterConfig] = None,
+        ranker: Optional[Ranker] = None,
+        manifest: Optional[ShardManifest] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        self.config = config if config is not None else ClusterConfig()
+        self._shards = shards
+        self.partitioner = partitioner
+        self.ranker = (
+            ranker if ranker is not None else Ranker(partitioner.space)
+        )
+        self.manifest = manifest
+        self.metrics = MetricsRegistry(seed=self.config.metrics_seed)
+        self.cache: Optional[QueryResultCache] = (
+            QueryResultCache(self.config.cache_capacity)
+            if self.config.cache_capacity
+            else None
+        )
+        self._regions: Dict[int, List[Rect]] = partitioner.shard_regions()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.scatter_width,
+            thread_name_prefix="repro-cluster",
+        )
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._started = time.monotonic()
+        self.metrics.gauge("cluster.shards").set(len(shards))
+        self.metrics.gauge("cluster.replicas").set(self.config.replicas)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        documents: Iterable,
+        partitioner,
+        config: Optional[ClusterConfig] = None,
+        ranker: Optional[Ranker] = None,
+        **index_kwargs,
+    ) -> "ClusterService":
+        """Partition ``documents`` and build every shard replica.
+
+        Each replica gets its own :class:`~repro.core.index.I3Index`
+        (bulk-loaded with the shard's documents — replicas of one shard
+        hold identical data) and its own query service configured from
+        ``config.shard_config``.  ``index_kwargs`` (``eta``,
+        ``page_size``, ``buffer_pages``, ...) pass through to every
+        shard index.
+        """
+        config = config if config is not None else ClusterConfig()
+        space = partitioner.space
+        ranker = ranker if ranker is not None else Ranker(space)
+        assignment: List[List[Any]] = [
+            [] for _ in range(partitioner.num_shards)
+        ]
+        for doc in documents:
+            assignment[partitioner.shard_of(doc)].append(doc)
+        shards: List[List[ShardReplica]] = []
+        for sid, shard_docs in enumerate(assignment):
+            replicas = []
+            for rid in range(config.replicas):
+                index = I3Index(space, **index_kwargs)
+                if shard_docs:
+                    index.bulk_load(shard_docs)
+                service = QueryService(index, config.shard_config, ranker=ranker)
+                replicas.append(
+                    ShardReplica(
+                        sid, rid, service,
+                        failure_threshold=config.failure_threshold,
+                    )
+                )
+            shards.append(replicas)
+        manifest = build_manifest(
+            partitioner, config.replicas, [len(d) for d in assignment]
+        )
+        return cls(shards, partitioner, config, ranker, manifest)
+
+    # ------------------------------------------------------------------
+    # Topology access
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def replica(self, shard_id: int, replica_id: int = 0) -> ShardReplica:
+        """The addressed replica (fault injection, inspection)."""
+        return self._shards[shard_id][replica_id]
+
+    def _first_alive(self, shard_id: int) -> Optional[ShardReplica]:
+        for rep in self._shards[shard_id]:
+            if rep.alive:
+                return rep
+        return None
+
+    def cluster_epoch(self) -> int:
+        """Sum of per-shard mutation epochs — the cross-shard cache
+        stamp.  Any mutation on any shard changes it, so cached merged
+        answers self-invalidate exactly like single-index results."""
+        total = 0
+        for sid in range(self.num_shards):
+            rep = self._first_alive(sid) or self._shards[sid][0]
+            total += rep.index.epoch
+        return total
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def search(self, query: TopKQuery) -> ClusterAnswer:
+        """Scatter-gather top-k across the shards.
+
+        Never raises for shard failures — unreachable shards surface as
+        :attr:`ClusterAnswer.degraded` (with the ids in
+        ``failed_shards``) so callers can distinguish a complete answer
+        from a partial one.
+        """
+        if self._closed:
+            raise ServiceClosed("cluster service is closed")
+        self.metrics.counter("cluster.queries").inc()
+        epoch = self.cluster_epoch()
+        key = (query, self.ranker.alpha)
+        if self.cache is not None:
+            cached = self.cache.get(key, epoch)
+            if cached is not None:
+                return replace(cached, from_cache=True)
+        started = time.monotonic()
+        answer = self._scatter_gather(query)
+        self.metrics.histogram("cluster.latency_ms").observe(
+            (time.monotonic() - started) * 1000.0
+        )
+        if answer.degraded:
+            self.metrics.counter("cluster.degraded").inc()
+        elif self.cache is not None:
+            # Degraded answers are never cached: the next attempt may
+            # reach a recovered replica and must not be short-circuited.
+            self.cache.put(key, epoch, answer)
+        return answer
+
+    def _scatter_gather(self, query: TopKQuery) -> ClusterAnswer:
+        ranked, absent, dead_upfront = self._route(query)
+        collector = TopKCollector(query.k)
+        failed: List[int] = list(dead_upfront)
+        queried = 0
+        pruned = 0
+        i = 0
+        while i < len(ranked):
+            delta = collector.delta
+            wave: List[int] = []
+            while i < len(ranked) and len(wave) < self.config.scatter_width:
+                bound, sid = ranked[i]
+                if bound < delta:
+                    # Bounds are sorted descending: nothing past this
+                    # point can beat (or tie) the current k-th score.
+                    pruned += len(ranked) - i
+                    i = len(ranked)
+                    break
+                wave.append(sid)
+                i += 1
+            if not wave:
+                break
+            if len(wave) == 1:
+                outcomes = [self._query_shard(wave[0], query)]
+            else:
+                outcomes = list(
+                    self._pool.map(lambda s: self._query_shard(s, query), wave)
+                )
+            queried += len(wave)
+            for sid, result in zip(wave, outcomes):
+                if result is None:
+                    failed.append(sid)
+                    continue
+                for doc in result:
+                    collector.offer(doc.doc_id, doc.score)
+        self.metrics.counter("cluster.shards_queried").inc(queried)
+        self.metrics.counter("cluster.shards_pruned").inc(pruned)
+        self.metrics.counter("cluster.shards_no_candidates").inc(absent)
+        return ClusterAnswer(
+            results=collector.results(),
+            degraded=bool(failed),
+            failed_shards=tuple(sorted(failed)),
+            shards_queried=queried,
+            shards_skipped=absent + pruned,
+        )
+
+    def _route(
+        self, query: TopKQuery
+    ) -> Tuple[List[Tuple[float, int]], int, List[int]]:
+        """Score every shard's best-case contribution.
+
+        Returns ``(ranked, absent, dead)``: shards with a finite upper
+        bound sorted bound-descending (ties by shard id), the number of
+        shards holding no query keyword (safely skipped — a document
+        there can never be a candidate), and shards with no alive
+        replica at routing time (already-degraded).
+        """
+        ranked: List[Tuple[float, int]] = []
+        absent = 0
+        dead: List[int] = []
+        need_all = query.semantics is Semantics.AND
+        for sid in range(self.num_shards):
+            rep = self._first_alive(sid)
+            if rep is None:
+                if (
+                    self.manifest is not None
+                    and self.manifest.shards[sid].num_documents == 0
+                ):
+                    absent += 1  # empty shard: nothing to lose, not degraded
+                else:
+                    dead.append(sid)
+                continue
+            bounds = rep.read(
+                lambda _t, _rep=rep: _rep.index.keyword_bounds(query.words)
+            )
+            if not bounds or (need_all and len(bounds) < len(query.words)):
+                # Documents live whole on one shard, so a shard missing
+                # a required keyword cannot hold any AND candidate (nor
+                # any OR candidate when every keyword is missing).
+                absent += 1
+                continue
+            phi_t = sum(bounds.values())
+            phi_s = max(
+                (
+                    self.ranker.spatial_upper_bound(query.x, query.y, rect)
+                    for rect in self._regions.get(sid, ())
+                ),
+                default=0.0,
+            )
+            ranked.append((self.ranker.combine(phi_s, phi_t), sid))
+        ranked.sort(key=lambda entry: (-entry[0], entry[1]))
+        return ranked, absent, dead
+
+    def _query_shard(
+        self, shard_id: int, query: TopKQuery
+    ) -> Optional[List[ScoredDoc]]:
+        """One shard's top-k with failover; ``None`` if every replica
+        failed every round."""
+        replicas = self._shards[shard_id]
+        attempts = 0
+        for round_no in range(self.config.retry_rounds + 1):
+            if round_no > 0 and self.config.backoff > 0:
+                time.sleep(self.config.backoff * (2 ** (round_no - 1)))
+            ordered = sorted(
+                replicas, key=lambda r: (not r.healthy, r.replica_id)
+            )
+            for rep in ordered:
+                if not rep.alive:
+                    continue
+                attempts += 1
+                try:
+                    result = rep.search(
+                        query, timeout=self.config.attempt_timeout
+                    )
+                except Exception:
+                    rep.mark_failure()
+                    self.metrics.counter("cluster.attempt_failures").inc()
+                    self.metrics.counter(
+                        f"shard.{shard_id}.attempt_failures"
+                    ).inc()
+                    continue
+                rep.mark_success()
+                self.metrics.counter(f"shard.{shard_id}.queries").inc()
+                if attempts > 1 or rep.replica_id != 0:
+                    # The primary did not serve this: failover absorbed
+                    # a fault without degrading the answer.
+                    self.metrics.counter("cluster.failovers").inc()
+                    self.metrics.counter(f"shard.{shard_id}.failovers").inc()
+                return result
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert_document(self, doc) -> int:
+        """Route ``doc`` to its shard and insert on every live replica.
+
+        Returns the shard id.  Each replica applies the write under its
+        service's exclusive lock and bumps its index epoch, so cached
+        cluster answers (stamped with the epoch sum) go stale at once.
+        A dead replica misses the write — reviving one requires a
+        rebuild from the manifest, not a restart (no anti-entropy).
+        """
+        if self._closed:
+            raise ServiceClosed("cluster service is closed")
+        sid = self.partitioner.shard_of(doc)
+        applied = 0
+        for rep in self._shards[sid]:
+            if rep.alive:
+                rep.service.insert(doc)
+                applied += 1
+        if applied == 0:
+            raise ServiceClosed(f"shard {sid} has no live replica to write")
+        self.metrics.counter("cluster.mutations").inc()
+        if self.manifest is not None:
+            self.manifest.shards[sid].num_documents += 1
+        return sid
+
+    def delete_document(self, doc) -> bool:
+        """Route a delete to the owning shard's live replicas; True when
+        the primary-path replica found every tuple."""
+        if self._closed:
+            raise ServiceClosed("cluster service is closed")
+        sid = self.partitioner.shard_of(doc)
+        found = False
+        applied = 0
+        for rep in self._shards[sid]:
+            if rep.alive:
+                found = rep.service.delete(doc) or found
+                applied += 1
+        if applied == 0:
+            raise ServiceClosed(f"shard {sid} has no live replica to write")
+        self.metrics.counter("cluster.mutations").inc()
+        if found and self.manifest is not None:
+            info = self.manifest.shards[sid]
+            info.num_documents = max(0, info.num_documents - 1)
+        return found
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Cluster metrics plus a per-shard rollup.
+
+        The rollup aggregates every replica service's counters twice:
+        summed across the cluster (``rollup.totals``) and labelled per
+        shard (``rollup.per_shard``, names like
+        ``queries.completed{shard=3}``) — the flat label form a metrics
+        pipeline ingests directly.
+        """
+        snapshot = self.metrics.as_dict()
+        uptime = time.monotonic() - self._started
+        snapshot["cluster"] = {
+            "num_shards": self.num_shards,
+            "replicas": self.config.replicas,
+            "partitioner": getattr(self.partitioner, "kind", "unknown"),
+            "scatter_width": self.config.scatter_width,
+            "uptime_s": uptime,
+            "closed": self._closed,
+        }
+        if self.cache is not None:
+            snapshot["cache"] = self.cache.stats()
+        totals: Dict[str, float] = {}
+        per_shard: Dict[str, float] = {}
+        shards: Dict[str, Any] = {}
+        for sid, replicas in enumerate(self._shards):
+            shard_counters: Dict[str, float] = {}
+            for rep in replicas:
+                for name, value in rep.service.metrics.as_dict()[
+                    "counters"
+                ].items():
+                    shard_counters[name] = shard_counters.get(name, 0) + value
+            for name, value in sorted(shard_counters.items()):
+                per_shard[f"{name}{{shard={sid}}}"] = value
+                totals[name] = totals.get(name, 0) + value
+            shards[str(sid)] = {
+                "documents": (
+                    self.manifest.shards[sid].num_documents
+                    if self.manifest is not None
+                    else None
+                ),
+                "replicas": [rep.describe() for rep in replicas],
+            }
+        snapshot["shards"] = shards
+        snapshot["rollup"] = {"totals": totals, "per_shard": per_shard}
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def save_manifest(self, path: str) -> None:
+        """Persist the shard manifest (see ``docs/format_i3ix.md``)."""
+        if self.manifest is None:
+            raise ValueError("this cluster was built without a manifest")
+        self.manifest.save(path)
+
+    def close(self) -> None:
+        """Close every replica service and the scatter pool. Idempotent."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for replicas in self._shards:
+            for rep in replicas:
+                rep.service.close()
+        self._pool.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

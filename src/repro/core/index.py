@@ -96,6 +96,9 @@ class I3Index:
         self.num_documents = 0
         self.num_tuples = 0
         self.epoch = 0
+        # Per-keyword max_s upper bounds advertised to the cluster layer
+        # (see keyword_bound); missing entries are computed on demand.
+        self._word_bound: Dict[str, float] = {}
         self._processor = I3QueryProcessor(self)
 
     @property
@@ -179,6 +182,7 @@ class I3Index:
                     word, self._build_dense(word, ROOT_CELL, 0, records)
                 )
             self.num_tuples += len(records)
+            self._word_bound[word] = max(r.weight for r in records)
         self.num_documents = count
         self.epoch += 1
 
@@ -197,7 +201,11 @@ class I3Index:
             # A brand-new keyword: one tuple, one cell, any page with room.
             cell = self.data.create_cell([record])
             self.lookup.set_non_dense(t.word, cell)
+            self._word_bound[t.word] = record.weight
             return
+        cached_bound = self._word_bound.get(t.word)
+        if cached_bound is not None:
+            self._word_bound[t.word] = max(cached_bound, record.weight)
         if not entry.dense:
             self._insert_non_dense_root(t.word, entry.target, record)
             return
@@ -314,6 +322,7 @@ class I3Index:
             self.epoch += 1
             if cell.count == 0:
                 self.lookup.remove(word)
+                self._word_bound.pop(word, None)
             return True
         # Descend the dense chain, remembering the path for propagation.
         path: List[tuple[int, SummaryNode, int]] = []
@@ -406,6 +415,50 @@ class I3Index:
         if semantics is None:
             semantics = Semantics.OR
         return self._processor.range_search(region, words, semantics)
+
+    # ------------------------------------------------------------------
+    # Shard-level score bounds (cluster layer)
+    # ------------------------------------------------------------------
+    def keyword_bound(self, word: str) -> Optional[float]:
+        """Upper bound on the stored ``max_s`` term weight of ``word``.
+
+        ``None`` means the keyword holds no tuples here — a shard router
+        can rule this index out entirely for AND semantics.  The bound is
+        *admissible, not tight*: inserts keep it exact, deletions leave
+        it sticky (an overestimate only ever costs pruning power, never
+        correctness), and on an index restored from disk the first call
+        per keyword recomputes it from the root summary node (dense) or
+        the keyword cell's page (non-dense) and memoises the result.
+        """
+        entry = self.lookup.get(word)
+        if entry is None:
+            return None
+        bound = self._word_bound.get(word)
+        if bound is not None:
+            return bound
+        if entry.dense:
+            # Bypass the I/O counters like check_invariants: advertising
+            # bounds is router metadata, not query work.
+            bound = self.head._nodes[entry.target].own.max_s
+        else:
+            tuples = self.data.read_cell(entry.target)
+            bound = max((t.weight for t in tuples), default=0.0)
+        self._word_bound[word] = bound
+        return bound
+
+    def keyword_bounds(self, words) -> Dict[str, float]:
+        """``{word: max_s upper bound}`` for the given words present here.
+
+        Absent keywords are omitted, so ``len(result) < len(words)``
+        tells an AND-semantics router this index cannot contribute, and
+        an empty result tells an OR-semantics router the same.
+        """
+        bounds: Dict[str, float] = {}
+        for word in words:
+            bound = self.keyword_bound(word)
+            if bound is not None:
+                bounds[word] = bound
+        return bounds
 
     # ------------------------------------------------------------------
     # Introspection

@@ -15,6 +15,7 @@ count; :meth:`release` wakes blocked admitters.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Optional
 
@@ -48,8 +49,12 @@ class AdmissionController:
         """Admit one task, waiting for capacity (backpressure).
 
         Returns False only if ``timeout`` elapsed with the gate still
-        full.
+        full.  ``timeout`` must be ``None`` or a non-negative finite
+        number — a negative or NaN wait is always a caller bug, not a
+        zero-wait poll.
         """
+        if timeout is not None and (timeout < 0 or math.isnan(timeout)):
+            raise ValueError(f"timeout must be non-negative, got {timeout}")
         with self._cond:
             if not self._cond.wait_for(
                 lambda: self._pending < self.limit, timeout=timeout

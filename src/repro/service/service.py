@@ -85,7 +85,9 @@ class ServiceConfig:
                 f"max_pending ({self.max_pending}) must be >= workers "
                 f"({self.workers}); a smaller bound would idle the pool"
             )
-        if self.timeout is not None and self.timeout <= 0:
+        if self.timeout is not None and not self.timeout > 0:
+            # `not > 0` (rather than `<= 0`) also rejects NaN, which
+            # would otherwise slip through and disarm every deadline.
             raise ValueError(f"timeout must be positive, got {self.timeout}")
         if self.cache_capacity < 0:
             raise ValueError(
@@ -309,6 +311,20 @@ class QueryService:
         self.metrics.counter("mutations").inc()
         return result
 
+    def read(self, fn):
+        """Run ``fn(target)`` holding the shared lock.
+
+        For out-of-band consistent reads of index metadata — the cluster
+        router reads per-keyword score bounds and the mutation epoch this
+        way, so a concurrent :meth:`mutate` can never expose a
+        half-applied update to routing decisions.
+        """
+        self._rwlock.acquire_read()
+        try:
+            return fn(self.target)
+        finally:
+            self._rwlock.release_read()
+
     # ------------------------------------------------------------------
     # Worker pool
     # ------------------------------------------------------------------
@@ -399,15 +415,21 @@ class QueryService:
             snapshot["cache"] = self.cache.stats()
         pool = self._index.data.buffer
         if pool is not None:
-            reads, misses, writes = pool.counters()
+            counters = pool.counters()
             snapshot["buffer_pool"] = {
                 "capacity": pool.capacity,
                 "cached_pages": pool.cached_pages,
-                "logical_reads": reads,
-                "hits": reads - misses,
-                "misses": misses,
-                "logical_writes": writes,
-                "hit_ratio": 1.0 - misses / reads if reads else 0.0,
+                "logical_reads": counters.logical_reads,
+                "hits": counters.logical_reads - counters.misses,
+                "misses": counters.misses,
+                "logical_writes": counters.logical_writes,
+                "evictions": counters.evictions,
+                "writebacks": counters.writebacks,
+                "hit_ratio": (
+                    1.0 - counters.misses / counters.logical_reads
+                    if counters.logical_reads
+                    else 0.0
+                ),
             }
         return snapshot
 

@@ -1,12 +1,13 @@
 """Simulated disk substrate: pages, buffer pool, slots, I/O accounting."""
 
-from repro.storage.buffer import BufferPool
+from repro.storage.buffer import BufferCounters, BufferPool
 from repro.storage.iostats import IOSnapshot, IOStats
 from repro.storage.pager import DEFAULT_PAGE_SIZE, PageFile
 from repro.storage.records import TUPLE_SIZE, StoredTuple, TupleCodec
 from repro.storage.slotted import SlottedFile
 
 __all__ = [
+    "BufferCounters",
     "BufferPool",
     "IOSnapshot",
     "IOStats",

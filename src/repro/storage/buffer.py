@@ -33,11 +33,27 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Set, Tuple
+from typing import NamedTuple, Set
 
 from repro.storage.pager import PageFile
 
-__all__ = ["BufferPool"]
+__all__ = ["BufferPool", "BufferCounters"]
+
+
+class BufferCounters(NamedTuple):
+    """A mutually consistent snapshot of the pool's counters.
+
+    ``evictions`` counts pages dropped to make room (clean or dirty);
+    ``writebacks`` counts dirty pages pushed to disk, whether by an
+    eviction or an explicit :meth:`BufferPool.flush` — together they are
+    the eviction-pressure signal the serving snapshot reports.
+    """
+
+    logical_reads: int
+    misses: int
+    logical_writes: int
+    evictions: int
+    writebacks: int
 
 
 class BufferPool:
@@ -58,6 +74,8 @@ class BufferPool:
         "logical_writes",
         "misses",
         "fill_reads",
+        "evictions",
+        "writebacks",
     )
 
     def __init__(self, file: PageFile, capacity: int = 128) -> None:
@@ -72,6 +90,8 @@ class BufferPool:
         self.logical_writes = 0
         self.misses = 0
         self.fill_reads = 0
+        self.evictions = 0
+        self.writebacks = 0
 
     # ------------------------------------------------------------------
     # PageFile-compatible interface
@@ -154,15 +174,18 @@ class BufferPool:
 
     def _evict_lru(self) -> None:
         victim, data = self._cache.popitem(last=False)
+        self.evictions += 1
         if victim in self._dirty:
             self.file.write(victim, bytes(data))
             self._dirty.discard(victim)
+            self.writebacks += 1
 
     def flush(self) -> None:
         """Write every dirty cached page back to disk (stays cached)."""
         with self._lock:
             for page_id in sorted(self._dirty):
                 self.file.write(page_id, bytes(self._cache[page_id]))
+                self.writebacks += 1
             self._dirty.clear()
 
     def clear(self) -> None:
@@ -178,11 +201,17 @@ class BufferPool:
         with self._lock:
             return len(self._cache)
 
-    def counters(self) -> Tuple[int, int, int]:
-        """A consistent ``(logical_reads, misses, logical_writes)``
-        triple, taken atomically with respect to cache operations."""
+    def counters(self) -> BufferCounters:
+        """A :class:`BufferCounters` snapshot, taken atomically with
+        respect to cache operations."""
         with self._lock:
-            return (self.logical_reads, self.misses, self.logical_writes)
+            return BufferCounters(
+                self.logical_reads,
+                self.misses,
+                self.logical_writes,
+                self.evictions,
+                self.writebacks,
+            )
 
     @property
     def hits(self) -> int:
@@ -193,7 +222,7 @@ class BufferPool:
     @property
     def hit_ratio(self) -> float:
         """Fraction of logical reads served without disk I/O so far."""
-        reads, misses, _ = self.counters()
-        if reads == 0:
+        snap = self.counters()
+        if snap.logical_reads == 0:
             return 0.0
-        return 1.0 - misses / reads
+        return 1.0 - snap.misses / snap.logical_reads

@@ -113,6 +113,30 @@ class TestBufferPool:
         assert pool.page_size == pool.file.page_size
         pool.allocate()
         assert pool.num_pages == pool.file.num_pages
+
+    def test_counters_report_evictions_and_writebacks(self):
+        pool, _ = make_pool(capacity=1)
+        a = pool.allocate()
+        pool.write(a, b"dirty")
+        b = pool.allocate()      # evicts a dirty -> write-back
+        snap = pool.counters()
+        assert snap.evictions == 1
+        assert snap.writebacks == 1
+        pool.read(a)             # evicts b clean -> no write-back
+        snap = pool.counters()
+        assert snap.evictions == 2
+        assert snap.writebacks == 1
+
+    def test_flush_counts_as_writeback(self):
+        pool, _ = make_pool(capacity=4)
+        a = pool.allocate()
+        pool.write(a, b"data")
+        pool.flush()
+        snap = pool.counters()
+        assert snap.evictions == 0
+        assert snap.writebacks == 1
+        pool.flush()  # nothing dirty: no extra write-back
+        assert pool.counters().writebacks == 1
         assert pool.size_bytes == pool.file.size_bytes
 
 
@@ -151,10 +175,11 @@ class TestPartialWrites:
         pool.clear()
         pool.write(a, b"xy")  # fill read, NOT a logical read/miss
         pool.read(a)          # hit (the RMW installed the page)
-        reads, misses, writes = pool.counters()
-        assert (reads, misses) == (1, 0)
+        counters = pool.counters()
+        assert (counters.logical_reads, counters.misses) == (1, 0)
         assert pool.hits + pool.misses == pool.logical_reads
-        assert writes == 2  # the two pool.write calls; the fill is neither
+        # The two pool.write calls; the fill is neither.
+        assert counters.logical_writes == 2
 
     def test_partial_write_roundtrip_through_eviction(self):
         pool, _ = make_pool(capacity=1, page_size=8)
@@ -190,10 +215,11 @@ class TestPartialWrites:
         for t in threads:
             t.join()
 
-        reads, misses, _ = pool.counters()
-        assert reads == 8 * 500  # no lost logical-read increments
-        assert pool.hits + misses == reads
-        assert stats.reads("disk") == misses  # every miss hit the disk once
+        snap = pool.counters()
+        assert snap.logical_reads == 8 * 500  # no lost logical-read increments
+        assert pool.hits + snap.misses == snap.logical_reads
+        # Every miss hit the disk once.
+        assert stats.reads("disk") == snap.misses
 
 
 class TestBufferedI3:

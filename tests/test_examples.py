@@ -29,4 +29,5 @@ def test_example_runs(script):
 def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "restaurant_finder", "tweet_stream",
-            "index_comparison", "city_guide"} <= names
+            "index_comparison", "city_guide", "concurrent_search",
+            "sharded_search"} <= names

@@ -180,6 +180,16 @@ class TestAdmissionController:
         with pytest.raises(RuntimeError):
             AdmissionController(limit=1).release()
 
+    def test_acquire_rejects_negative_and_nan_timeout(self):
+        gate = AdmissionController(limit=1)
+        with pytest.raises(ValueError):
+            gate.acquire(timeout=-0.5)
+        with pytest.raises(ValueError):
+            gate.acquire(timeout=float("nan"))
+        # A rejected timeout must not leak an admission slot.
+        assert gate.pending == 0
+        assert gate.acquire(timeout=0)  # zero-wait poll stays legal
+
 
 def _stub_index(gate=None):
     """An index-shaped stub whose queries block on ``gate`` (if given) —
@@ -244,6 +254,28 @@ class TestQueryServiceBasics:
             assert 5000 not in {doc_id for doc_id, _ in results_as_pairs(before)}
             assert 5000 in {doc_id for doc_id, _ in results_as_pairs(after)}
 
+    def test_mutations_bump_epoch_and_evict_stale_entries(self):
+        from repro.model.document import SpatialDocument
+
+        doc = SpatialDocument(6000, 0.4, 0.6, {"noodle": 0.8})
+        query = _query(("noodle",), k=50, x=0.4, y=0.6)
+        with QueryService(self.index, ServiceConfig(workers=2)) as service:
+            before = service.search(query)
+            epoch0 = self.index.epoch
+
+            service.insert(doc)
+            assert self.index.epoch > epoch0  # insert bumped the epoch
+            after_insert = service.search(query)
+            assert service.cache.invalidations == 1  # stale entry evicted
+            assert 6000 in {d for d, _ in results_as_pairs(after_insert)}
+
+            epoch1 = self.index.epoch
+            service.delete(doc)
+            assert self.index.epoch > epoch1  # delete bumped it again
+            after_delete = service.search(query)
+            assert service.cache.invalidations == 2
+            assert results_as_pairs(after_delete) == results_as_pairs(before)
+
     def test_database_target_returns_hits(self):
         db = SpatialKeywordDatabase()
         db.add(1, 0.2, 0.3, "spicy noodle bar")
@@ -261,6 +293,7 @@ class TestQueryServiceBasics:
         assert {"p50", "p95", "p99"} <= set(snap["histograms"]["latency_ms"])
         pool = snap["buffer_pool"]
         assert pool["hits"] + pool["misses"] == pool["logical_reads"]
+        assert {"evictions", "writebacks"} <= set(pool)
         assert snap["service"]["workers"] == 2
         assert snap["cache"]["capacity"] == 256
 
@@ -336,6 +369,10 @@ class TestAdmissionAndTimeouts:
             ServiceConfig(workers=4, max_pending=2)
         with pytest.raises(ValueError):
             ServiceConfig(timeout=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(timeout=-1.5)
+        with pytest.raises(ValueError):
+            ServiceConfig(timeout=float("nan"))
         with pytest.raises(ValueError):
             ServiceConfig(cache_capacity=-1)
 
