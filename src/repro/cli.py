@@ -4,6 +4,8 @@ Usage (also via ``python -m repro``):
 
     python -m repro generate --kind twitter --docs 2000 --out corpus.jsonl
     python -m repro build    --corpus corpus.jsonl --out city.i3ix
+    python -m repro build    --corpus corpus.jsonl --durable-dir city.d/
+    python -m repro recover  --dir city.d/
     python -m repro info     --index city.i3ix
     python -m repro query    --index city.i3ix --at 0.4,0.6 \
                              --words "spicy restaurant" --k 5 --semantics and
@@ -25,6 +27,7 @@ from typing import Iterable, List, Optional
 
 from repro.core.index import I3Index
 from repro.core.persistence import load_index, save_index
+from repro.core.recovery import DurableIndex
 from repro.datasets.generators import TwitterLikeGenerator, WikipediaLikeGenerator
 from repro.model.document import SpatialDocument
 from repro.model.query import Semantics, TopKQuery
@@ -81,6 +84,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    if not args.out and not args.durable_dir:
+        raise SystemExit("build needs --out and/or --durable-dir")
     documents = _read_corpus(args.corpus)
     if not documents:
         raise SystemExit(f"{args.corpus}: no documents")
@@ -96,13 +101,57 @@ def _cmd_build(args: argparse.Namespace) -> int:
             index.insert_document(doc)
     else:
         index.bulk_load(documents)
-    save_index(index, args.out)
+    destinations = []
+    if args.out:
+        save_index(index, args.out)
+        destinations.append(args.out)
+    if args.durable_dir:
+        # Start a WAL-backed store: snapshot now, log future mutations.
+        durable = DurableIndex.create(args.durable_dir, index)
+        durable.close()
+        destinations.append(f"{args.durable_dir}/ (durable store)")
     breakdown = ", ".join(f"{k}={v:,}B" for k, v in index.size_breakdown().items())
     print(
         f"built I3 over {index.num_documents} documents "
-        f"({index.num_tuples} tuples); {breakdown}; saved -> {args.out}",
+        f"({index.num_tuples} tuples); {breakdown}; "
+        f"saved -> {' and '.join(destinations)}",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    try:
+        durable = DurableIndex.open(args.dir)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    report = durable.last_report
+    if not args.no_checkpoint:
+        # Fold the replayed tail into a fresh snapshot so the next
+        # recovery starts from here instead of replaying again.
+        durable.checkpoint()
+    durable.close()
+    if args.json:
+        payload = report.as_dict()
+        payload["checkpointed"] = not args.no_checkpoint
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(
+            f"recovered {report.num_documents} documents "
+            f"({report.num_tuples} tuples) at epoch {report.epoch}"
+        )
+        print(
+            f"snapshot covered LSN {report.snapshot_lsn}; "
+            f"replayed {report.records_replayed} WAL records"
+            + (
+                f"; discarded {report.torn_bytes_discarded} torn tail bytes"
+                if report.torn_bytes_discarded
+                else ""
+            )
+        )
+        if not args.no_checkpoint:
+            print(f"checkpointed -> {args.dir}")
     return 0
 
 
@@ -385,7 +434,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     build = sub.add_parser("build", help="build and save an I3 index")
     build.add_argument("--corpus", required=True, help="JSON-lines corpus path")
-    build.add_argument("--out", required=True, help="index output path")
+    build.add_argument("--out", help="index snapshot output path (.i3ix)")
+    build.add_argument(
+        "--durable-dir",
+        help="also start a WAL-backed durable store in this directory "
+        "(recoverable with `repro recover`)",
+    )
     build.add_argument("--eta", type=int, default=300)
     build.add_argument("--page-size", type=int, default=4096)
     build.add_argument(
@@ -401,6 +455,21 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="print an index's structural report")
     info.add_argument("--index", required=True)
     info.set_defaults(func=_cmd_info)
+
+    recover = sub.add_parser(
+        "recover",
+        help="recover a durable store: verify checksums, replay the WAL tail",
+    )
+    recover.add_argument(
+        "--dir", required=True, help="durable store directory (snapshot + WAL)"
+    )
+    recover.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="report only; do not fold the replayed tail into a new snapshot",
+    )
+    recover.add_argument("--json", action="store_true", help="JSON report")
+    recover.set_defaults(func=_cmd_recover)
 
     query = sub.add_parser("query", help="run a top-k query against an index")
     query.add_argument("--index", required=True)

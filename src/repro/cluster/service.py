@@ -30,6 +30,7 @@ epoch cache.
 from __future__ import annotations
 
 import math
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -40,6 +41,7 @@ from repro.cluster.manifest import ShardManifest
 from repro.cluster.partition import build_manifest
 from repro.cluster.replica import ShardReplica
 from repro.core.index import I3Index
+from repro.core.recovery import DurableIndex, RecoveryReport
 from repro.model.query import Semantics, TopKQuery
 from repro.model.results import ScoredDoc, TopKCollector
 from repro.model.scoring import Ranker
@@ -204,6 +206,7 @@ class ClusterService:
         partitioner,
         config: Optional[ClusterConfig] = None,
         ranker: Optional[Ranker] = None,
+        durable_root: Optional[str] = None,
         **index_kwargs,
     ) -> "ClusterService":
         """Partition ``documents`` and build every shard replica.
@@ -214,6 +217,12 @@ class ClusterService:
         ``config.shard_config``.  ``index_kwargs`` (``eta``,
         ``page_size``, ``buffer_pages``, ...) pass through to every
         shard index.
+
+        With ``durable_root`` each replica is wrapped in a
+        :class:`~repro.core.recovery.DurableIndex` stored under
+        ``durable_root/shard<sid>-r<rid>/`` — mutations go through its
+        write-ahead log, and :meth:`recover` can bring a restarted
+        replica back to its exact acknowledged state.
         """
         config = config if config is not None else ClusterConfig()
         space = partitioner.space
@@ -228,9 +237,18 @@ class ClusterService:
             replicas = []
             for rid in range(config.replicas):
                 index = I3Index(space, **index_kwargs)
-                if shard_docs:
-                    index.bulk_load(shard_docs)
-                service = QueryService(index, config.shard_config, ranker=ranker)
+                if durable_root is not None:
+                    target: Any = DurableIndex.create(
+                        os.path.join(durable_root, f"shard{sid}-r{rid}"),
+                        index,
+                    )
+                    if shard_docs:
+                        target.bulk_load(shard_docs)
+                else:
+                    target = index
+                    if shard_docs:
+                        index.bulk_load(shard_docs)
+                service = QueryService(target, config.shard_config, ranker=ranker)
                 replicas.append(
                     ShardReplica(
                         sid, rid, service,
@@ -269,6 +287,36 @@ class ClusterService:
             rep = self._first_alive(sid) or self._shards[sid][0]
             total += rep.index.epoch
         return total
+
+    def recover(self, shard_id: int, replica_id: int = 0) -> "RecoveryReport":
+        """Recover one replica from its durable store and rejoin it.
+
+        Works on a live replica (in-place recovery under its service's
+        write lock) and on a killed one (its closed service is replaced
+        by a fresh one over the recovered index — the cluster analogue
+        of restarting the shard process).  Either way the replica comes
+        back at the exact acknowledged epoch and re-enters the failover
+        rotation healthy.
+        """
+        if self._closed:
+            raise ServiceClosed("cluster service is closed")
+        rep = self.replica(shard_id, replica_id)
+        durable = rep.service.durable
+        if durable is None:
+            raise ValueError(
+                f"shard {shard_id} replica {replica_id} was built without "
+                "a durable store (pass durable_root= to build())"
+            )
+        if rep.alive:
+            report = rep.service.recover()
+        else:
+            report = durable.recover()
+            rep.service = QueryService(
+                durable, self.config.shard_config, ranker=self.ranker
+            )
+        rep.revive()
+        self.metrics.counter("cluster.recoveries").inc()
+        return report
 
     # ------------------------------------------------------------------
     # Query path
@@ -548,6 +596,8 @@ class ClusterService:
         for replicas in self._shards:
             for rep in replicas:
                 rep.service.close()
+                if rep.service.durable is not None:
+                    rep.service.durable.close()
         self._pool.shutdown(wait=True)
 
     @property

@@ -7,7 +7,9 @@ from repro.core.index import DEFAULT_ETA, DEFAULT_MAX_DEPTH, I3Index
 from repro.core.kwcells import DataFile
 from repro.core.lookup import LookupEntry, LookupTable
 from repro.core.or_semantics import OrSemantics
+from repro.core.persistence import SnapshotMeta, load_index, load_snapshot, save_index
 from repro.core.query import I3QueryProcessor, QueryTrace
+from repro.core.recovery import DurableIndex, RecoveryReport
 
 __all__ = [
     "AndSemantics",
@@ -25,6 +27,12 @@ __all__ = [
     "LookupEntry",
     "LookupTable",
     "OrSemantics",
+    "SnapshotMeta",
+    "load_index",
+    "load_snapshot",
+    "save_index",
     "I3QueryProcessor",
     "QueryTrace",
+    "DurableIndex",
+    "RecoveryReport",
 ]

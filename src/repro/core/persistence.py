@@ -1,4 +1,4 @@
-"""Binary persistence for the I3 index.
+"""Binary persistence for the I3 index (I3IX v2, checksummed).
 
 Serialises all three components — the data file's raw pages, the head
 file's summary nodes and the lookup table — into a single
@@ -8,6 +8,20 @@ on-disk image implies: slot occupancy is recovered by scanning pages
 for the reserved empty pattern, exactly how the paper's data file
 distinguishes valid tuples.
 
+Version 2 makes the file *verifiable* end to end, which is what turns
+a snapshot into a safe recovery base (see :mod:`repro.core.recovery`):
+
+* the header carries a CRC32 of its own bytes, plus the index mutation
+  ``epoch`` and the write-ahead-log ``last_lsn`` the image covers;
+* every page image is followed by a CRC32 footer
+  (:func:`repro.storage.pager.page_checksum`), so a torn page write is
+  detected on load instead of being silently mis-parsed as tuples;
+* the head-file and lookup sections are covered by one trailing CRC32;
+* the page count is validated against the physical file size *before*
+  any page is read, so a truncated file fails with a structured
+  :class:`~repro.storage.errors.SnapshotCorruptionError` naming the
+  mismatch, never a bare ``struct.error``.
+
 Limitations (checked, not silent): only the default ``id mod eta``
 signature hash is supported, and I/O counters restart from zero on
 load (they describe a session, not the index).
@@ -16,34 +30,68 @@ load (they describe a session, not the index).
 from __future__ import annotations
 
 import struct
-from typing import BinaryIO, List, Union
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, List, Tuple, Union
 
 from repro.core.headfile import CellPages, SummaryInfo, SummaryNode
 from repro.core.index import I3Index
 from repro.spatial.geometry import Rect
+from repro.storage.errors import SnapshotCorruptionError
+from repro.storage.pager import page_checksum
 from repro.storage.records import TupleCodec
 from repro.text.signature import Signature
 
-__all__ = ["save_index", "load_index", "MAGIC", "FORMAT_VERSION"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "load_snapshot",
+    "write_index",
+    "read_index",
+    "SnapshotMeta",
+    "MAGIC",
+    "FORMAT_VERSION",
+]
 
 MAGIC = b"I3IX"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
-_HEADER = struct.Struct("<4sHIIIQQI4d")
+_HEADER = struct.Struct("<4sHIIIQQI4dQQ")
+_CRC = struct.Struct("<I")
 _E_FIXED = struct.Struct("<fI")
 _PTR_NONE, _PTR_NODE, _PTR_CELL = 0, 1, 2
 
 
-def save_index(index: I3Index, path: str) -> None:
-    """Write the index to ``path`` in the I3IX v1 format."""
+@dataclass(frozen=True)
+class SnapshotMeta:
+    """Durability metadata stored alongside the index image.
+
+    Attributes:
+        epoch: The index mutation epoch at snapshot time; restored on
+            load so a recovered shard rejoins with its epoch intact.
+        last_lsn: LSN of the last WAL mutation the image includes;
+            recovery replays strictly newer records on top.
+    """
+
+    epoch: int
+    last_lsn: int
+
+
+def save_index(index: I3Index, path: str, *, last_lsn: int = 0) -> None:
+    """Write the index to ``path`` in the I3IX v2 format."""
     with open(path, "wb") as fh:
-        _write(index, fh)
+        write_index(index, fh, last_lsn=last_lsn)
 
 
 def load_index(path: str) -> I3Index:
     """Read an index previously written by :func:`save_index`."""
+    return load_snapshot(path)[0]
+
+
+def load_snapshot(path: str) -> Tuple[I3Index, SnapshotMeta]:
+    """Read an index plus its durability metadata."""
     with open(path, "rb") as fh:
-        return _read(fh)
+        return read_index(fh)
 
 
 # ----------------------------------------------------------------------
@@ -51,64 +99,87 @@ def load_index(path: str) -> I3Index:
 # ----------------------------------------------------------------------
 
 
-def _write(index: I3Index, fh: BinaryIO) -> None:
+class _CrcWriter:
+    """Pass-through writer accumulating a CRC32 of everything written."""
+
+    __slots__ = ("fh", "crc")
+
+    def __init__(self, fh: BinaryIO) -> None:
+        self.fh = fh
+        self.crc = 0
+
+    def write(self, data: bytes) -> None:
+        self.crc = zlib.crc32(data, self.crc)
+        self.fh.write(data)
+
+
+def write_index(index: I3Index, fh, *, last_lsn: int = 0) -> None:
+    """Serialise ``index`` to an open binary stream (I3IX v2)."""
+    if index.data.buffer is not None:
+        # A write-back pool may hold dirty pages newer than the file.
+        index.data.buffer.flush()
     space = index.space
-    fh.write(
-        _HEADER.pack(
-            MAGIC,
-            FORMAT_VERSION,
-            index.eta,
-            index.data.file.page_size,
-            index.max_depth,
-            index.num_documents,
-            index.num_tuples,
-            index.data._next_source,
-            space.min_x,
-            space.min_y,
-            space.max_x,
-            space.max_y,
-        )
+    header = _HEADER.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        index.eta,
+        index.data.file.page_size,
+        index.max_depth,
+        index.num_documents,
+        index.num_tuples,
+        index.data._next_source,
+        space.min_x,
+        space.min_y,
+        space.max_x,
+        space.max_y,
+        index.epoch,
+        last_lsn,
     )
-    # Data file: raw page images.
+    fh.write(header)
+    fh.write(_CRC.pack(zlib.crc32(header)))
+    # Data file: raw page images, each with a CRC32 footer.
     pages = index.data.file.num_pages
     fh.write(struct.pack("<I", pages))
     for page_id in range(pages):
-        fh.write(index.data.file._pages[page_id])
-    # Head file: summary nodes.
-    fh.write(struct.pack("<I", index.head.num_nodes))
+        image = bytes(index.data.file._pages[page_id])
+        fh.write(image)
+        fh.write(_CRC.pack(page_checksum(image)))
+    # Head file and lookup table, covered by one trailing CRC.
+    tail = _CrcWriter(fh)
+    tail.write(struct.pack("<I", index.head.num_nodes))
     for node in index.head._nodes:
-        _write_node(fh, node, index.eta)
-    # Lookup table.
+        _write_node(tail, node, index.eta)
     entries = list(index.lookup.items())
-    fh.write(struct.pack("<I", len(entries)))
+    tail.write(struct.pack("<I", len(entries)))
     for word, entry in entries:
-        _write_str(fh, word)
+        _write_str(tail, word)
         if entry.dense:
-            fh.write(struct.pack("<B", _PTR_NODE))
-            fh.write(struct.pack("<I", entry.target))
+            tail.write(struct.pack("<B", _PTR_NODE))
+            tail.write(struct.pack("<I", entry.target))
         else:
-            fh.write(struct.pack("<B", _PTR_CELL))
-            _write_cell(fh, entry.target)
+            tail.write(struct.pack("<B", _PTR_CELL))
+            _write_cell(tail, entry.target)
+    fh.write(_CRC.pack(tail.crc))
 
 
-def _write_str(fh: BinaryIO, text: str) -> None:
+def _write_str(fh, text: str) -> None:
     raw = text.encode("utf-8")
     fh.write(struct.pack("<H", len(raw)))
     fh.write(raw)
 
 
-def _write_info(fh: BinaryIO, info: SummaryInfo, eta: int) -> None:
+def _write_info(fh, info: SummaryInfo, eta: int) -> None:
     fh.write(info.sig._bits.to_bytes(info.sig.size_bytes, "little"))
     fh.write(_E_FIXED.pack(info.max_s, info.count))
 
 
-def _write_cell(fh: BinaryIO, cell: CellPages) -> None:
+def _write_cell(fh, cell: CellPages) -> None:
     fh.write(struct.pack("<IIH", cell.source_id, cell.count, len(cell.pages)))
     for page in cell.pages:
         fh.write(struct.pack("<I", page))
 
 
-def _write_node(fh: BinaryIO, node: SummaryNode, eta: int) -> None:
+def _write_node(fh, node: SummaryNode, eta: int) -> None:
     _write_str(fh, node.word)
     fh.write(struct.pack("<Q", node.cell))
     _write_info(fh, node.own, eta)
@@ -130,13 +201,42 @@ def _write_node(fh: BinaryIO, node: SummaryNode, eta: int) -> None:
 # ----------------------------------------------------------------------
 
 
-def _read(fh: BinaryIO) -> I3Index:
+class _CrcReader:
+    """Pass-through reader accumulating a CRC32 of everything read."""
+
+    __slots__ = ("fh", "crc")
+
+    def __init__(self, fh: BinaryIO) -> None:
+        self.fh = fh
+        self.crc = 0
+
+    def read(self, n: int) -> bytes:
+        data = self.fh.read(n)
+        self.crc = zlib.crc32(data, self.crc)
+        return data
+
+    def tell(self) -> int:
+        return self.fh.tell()
+
+
+def read_index(fh: BinaryIO) -> Tuple[I3Index, SnapshotMeta]:
+    """Deserialise an index (plus metadata) from an open binary stream,
+    verifying every checksum on the way in."""
     header = fh.read(_HEADER.size)
     if len(header) < _HEADER.size:
-        raise ValueError("truncated I3 index file")
+        raise SnapshotCorruptionError("truncated I3 index file: short header", 0)
+    magic = header[:4]
+    if magic != MAGIC:
+        raise ValueError(f"not an I3 index file (magic {magic!r})")
+    version = struct.unpack_from("<H", header, 4)[0]
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported I3 index format version {version}")
+    stored_header_crc = _CRC.unpack(_must_read(fh, _CRC.size, "header checksum"))[0]
+    if zlib.crc32(header) != stored_header_crc:
+        raise SnapshotCorruptionError("snapshot header checksum mismatch", 0)
     (
-        magic,
-        version,
+        _magic,
+        _version,
         eta,
         page_size,
         max_depth,
@@ -147,11 +247,9 @@ def _read(fh: BinaryIO) -> I3Index:
         min_y,
         max_x,
         max_y,
+        epoch,
+        last_lsn,
     ) = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise ValueError(f"not an I3 index file (magic {magic!r})")
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported I3 index format version {version}")
     index = I3Index(
         Rect(min_x, min_y, max_x, max_y),
         eta=eta,
@@ -160,13 +258,39 @@ def _read(fh: BinaryIO) -> I3Index:
     )
     index.num_documents = num_documents
     index.num_tuples = num_tuples
+    index.epoch = epoch
     index.data._next_source = next_source
-    # Data file pages, with slot occupancy rebuilt by scanning.
-    (pages,) = struct.unpack("<I", _must_read(fh, 4))
+    # Data file pages. The declared page count is validated against the
+    # physical file size first: a truncated or header-damaged file must
+    # fail with a structured error before any page is parsed.
+    count_at = fh.tell()
+    (pages,) = struct.unpack("<I", _must_read(fh, 4, "page count"))
+    body_start = fh.tell()
+    fh.seek(0, 2)
+    file_end = fh.tell()
+    fh.seek(body_start)
+    needed = pages * (page_size + _CRC.size)
+    available = file_end - body_start
+    if needed > available:
+        raise SnapshotCorruptionError(
+            f"header claims {pages} pages of {page_size} B "
+            f"({needed} B with footers) but only {available} B remain "
+            "in the file: truncated or corrupt page count",
+            count_at,
+        )
     slotted = index.data.slotted
     for _ in range(pages):
+        page_at = fh.tell()
         page_id = slotted.allocate_page()
-        image = _must_read(fh, page_size)
+        image = _must_read(fh, page_size, f"page {page_id}")
+        stored_crc = _CRC.unpack(
+            _must_read(fh, _CRC.size, f"page {page_id} checksum")
+        )[0]
+        if page_checksum(image) != stored_crc:
+            raise SnapshotCorruptionError(
+                f"page {page_id} checksum mismatch: torn or corrupt page write",
+                page_at,
+            )
         index.data.file._pages[page_id][:] = image
         occupied = [
             slot
@@ -177,69 +301,85 @@ def _read(fh: BinaryIO) -> I3Index:
         ]
         free = set(range(slotted.slots_per_page)) - set(occupied)
         slotted._set_free(page_id, free)
-    # Head file.
-    (num_nodes,) = struct.unpack("<I", _must_read(fh, 4))
+    # Head file and lookup table, verified against the trailing CRC.
+    tail = _CrcReader(fh)
+    (num_nodes,) = struct.unpack("<I", _must_read(tail, 4, "node count"))
     for _ in range(num_nodes):
-        index.head._nodes.append(_read_node(fh, eta))
-    # Lookup table.
-    (num_words,) = struct.unpack("<I", _must_read(fh, 4))
+        index.head._nodes.append(_read_node(tail, eta))
+    (num_words,) = struct.unpack("<I", _must_read(tail, 4, "word count"))
     for _ in range(num_words):
-        word = _read_str(fh)
-        (tag,) = struct.unpack("<B", _must_read(fh, 1))
+        word = _read_str(tail)
+        at = tail.tell()
+        (tag,) = struct.unpack("<B", _must_read(tail, 1, "lookup tag"))
         if tag == _PTR_NODE:
-            (node_id,) = struct.unpack("<I", _must_read(fh, 4))
+            (node_id,) = struct.unpack("<I", _must_read(tail, 4, "node id"))
             index.lookup.set_dense(word, node_id)
         elif tag == _PTR_CELL:
-            index.lookup.set_non_dense(word, _read_cell(fh))
+            index.lookup.set_non_dense(word, _read_cell(tail))
         else:
-            raise ValueError(f"corrupt lookup entry tag {tag}")
+            raise SnapshotCorruptionError(f"corrupt lookup entry tag {tag}", at)
+    tail_at = fh.tell()
+    stored_tail_crc = _CRC.unpack(_must_read(fh, _CRC.size, "section checksum"))[0]
+    if tail.crc != stored_tail_crc:
+        raise SnapshotCorruptionError(
+            "head-file/lookup section checksum mismatch", tail_at
+        )
     index.stats.reset()
-    return index
+    return index, SnapshotMeta(epoch=epoch, last_lsn=last_lsn)
 
 
-def _must_read(fh: BinaryIO, n: int) -> bytes:
+def _must_read(fh, n: int, what: str = "data") -> bytes:
+    at = fh.tell()
     data = fh.read(n)
     if len(data) != n:
-        raise ValueError("truncated I3 index file")
+        raise SnapshotCorruptionError(
+            f"truncated I3 index file: wanted {n} bytes of {what}, "
+            f"got {len(data)}",
+            at,
+        )
     return data
 
 
-def _read_str(fh: BinaryIO) -> str:
-    (length,) = struct.unpack("<H", _must_read(fh, 2))
-    return _must_read(fh, length).decode("utf-8")
+def _read_str(fh) -> str:
+    (length,) = struct.unpack("<H", _must_read(fh, 2, "string length"))
+    return _must_read(fh, length, "string").decode("utf-8")
 
 
-def _read_info(fh: BinaryIO, eta: int) -> SummaryInfo:
+def _read_info(fh, eta: int) -> SummaryInfo:
     size = (eta + 7) // 8
-    bits = int.from_bytes(_must_read(fh, size), "little")
-    max_s, count = _E_FIXED.unpack(_must_read(fh, _E_FIXED.size))
+    bits = int.from_bytes(_must_read(fh, size, "signature"), "little")
+    max_s, count = _E_FIXED.unpack(_must_read(fh, _E_FIXED.size, "summary"))
     return SummaryInfo(sig=Signature(eta, bits=bits), max_s=max_s, count=count)
 
 
-def _read_cell(fh: BinaryIO) -> CellPages:
-    source_id, count, num_pages = struct.unpack("<IIH", _must_read(fh, 10))
+def _read_cell(fh) -> CellPages:
+    source_id, count, num_pages = struct.unpack(
+        "<IIH", _must_read(fh, 10, "cell header")
+    )
     pages = [
-        struct.unpack("<I", _must_read(fh, 4))[0] for _ in range(num_pages)
+        struct.unpack("<I", _must_read(fh, 4, "cell page id"))[0]
+        for _ in range(num_pages)
     ]
     return CellPages(source_id=source_id, pages=pages, count=count)
 
 
-def _read_node(fh: BinaryIO, eta: int) -> SummaryNode:
+def _read_node(fh, eta: int) -> SummaryNode:
     word = _read_str(fh)
-    (cell,) = struct.unpack("<Q", _must_read(fh, 8))
+    (cell,) = struct.unpack("<Q", _must_read(fh, 8, "cell id"))
     own = _read_info(fh, eta)
     children = [_read_info(fh, eta) for _ in range(4)]
     ptrs: List[Union[None, int, CellPages]] = []
     for _ in range(4):
-        (tag,) = struct.unpack("<B", _must_read(fh, 1))
+        at = fh.tell()
+        (tag,) = struct.unpack("<B", _must_read(fh, 1, "pointer tag"))
         if tag == _PTR_NONE:
             ptrs.append(None)
         elif tag == _PTR_NODE:
-            ptrs.append(struct.unpack("<I", _must_read(fh, 4))[0])
+            ptrs.append(struct.unpack("<I", _must_read(fh, 4, "node id"))[0])
         elif tag == _PTR_CELL:
             ptrs.append(_read_cell(fh))
         else:
-            raise ValueError(f"corrupt child pointer tag {tag}")
+            raise SnapshotCorruptionError(f"corrupt child pointer tag {tag}", at)
     return SummaryNode(
         word=word, cell=cell, own=own, children=children, child_ptrs=ptrs
     )

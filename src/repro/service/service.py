@@ -37,6 +37,7 @@ from queue import SimpleQueue
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.index import I3Index
+from repro.core.recovery import DurableIndex, RecoveryReport
 from repro.db import SpatialKeywordDatabase
 from repro.model.query import TopKQuery
 from repro.model.scoring import Ranker
@@ -157,25 +158,33 @@ class QueryService:
     """A thread-based concurrent query service over one index.
 
     ``target`` is either a raw :class:`~repro.core.index.I3Index` (query
-    results are :class:`~repro.model.results.ScoredDoc` lists) or a
+    results are :class:`~repro.model.results.ScoredDoc` lists), a
     :class:`~repro.db.SpatialKeywordDatabase` (results are
-    :class:`~repro.db.SearchHit` lists).  Either way all workers share
-    the target's buffer pool and I/O counters — the storage layer's
-    locks (see :mod:`repro.storage`) make that safe.
+    :class:`~repro.db.SearchHit` lists), or a
+    :class:`~repro.core.recovery.DurableIndex` (index-style results,
+    with mutations going through the write-ahead log and
+    :meth:`recover`/:meth:`checkpoint` available).  Either way all
+    workers share the target's buffer pool and I/O counters — the
+    storage layer's locks (see :mod:`repro.storage`) make that safe.
 
     Use as a context manager or call :meth:`close` when done.
     """
 
     def __init__(
         self,
-        target: Union[I3Index, SpatialKeywordDatabase],
+        target: Union[I3Index, SpatialKeywordDatabase, DurableIndex],
         config: Optional[ServiceConfig] = None,
         ranker: Optional[Ranker] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
+        self._durable: Optional[DurableIndex] = None
         if isinstance(target, SpatialKeywordDatabase):
             self._db: Optional[SpatialKeywordDatabase] = target
+            self._index = target.index
+        elif isinstance(target, DurableIndex):
+            self._db = None
+            self._durable = target
             self._index = target.index
         else:
             self._db = None
@@ -282,17 +291,26 @@ class QueryService:
 
         The index epoch bump makes every cached result stale (the
         read-through cache validates epochs), so queries after the
-        insert always see it.
+        insert always see it.  On a durable target the mutation is
+        logged to the WAL before the index is touched.
         """
-        op = self._db.add if self._db is not None else self._index.insert_document
+        if self._db is not None:
+            op = self._db.add
+        elif self._durable is not None:
+            op = self._durable.insert_document
+        else:
+            op = self._index.insert_document
         return self.mutate(lambda _target: op(*args, **kwargs))
 
     def delete(self, *args, **kwargs):
         """Delete under the write lock: ``delete_document(doc)`` on an
         index target, ``remove(doc_id)`` on a database target."""
-        op = (
-            self._db.remove if self._db is not None else self._index.delete_document
-        )
+        if self._db is not None:
+            op = self._db.remove
+        elif self._durable is not None:
+            op = self._durable.delete_document
+        else:
+            op = self._index.delete_document
         return self.mutate(lambda _target: op(*args, **kwargs))
 
     def mutate(self, fn):
@@ -324,6 +342,52 @@ class QueryService:
             return fn(self.target)
         finally:
             self._rwlock.release_read()
+
+    # ------------------------------------------------------------------
+    # Durability (durable targets only)
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> Optional[DurableIndex]:
+        """The durable target, or ``None`` for in-memory targets."""
+        return self._durable
+
+    def recover(self) -> RecoveryReport:
+        """Rebuild the served index from disk, under the write lock.
+
+        No query observes a half-recovered index: readers drain first,
+        the snapshot+WAL replay runs exclusively, the service swaps to
+        the recovered index and invalidates the result cache, then
+        reads resume.  Restarted shards call this to rejoin with their
+        mutation epoch exactly where the acknowledged history left it.
+        """
+        if self._durable is None:
+            raise ValueError("recover() requires a DurableIndex target")
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        self._rwlock.acquire_write()
+        try:
+            report = self._durable.recover()
+            self._index = self._durable.index
+            if self.cache is not None:
+                self.cache.invalidate()
+        finally:
+            self._rwlock.release_write()
+        self.metrics.counter("service.recoveries").inc()
+        return report
+
+    def checkpoint(self) -> None:
+        """Snapshot the durable target under the write lock, resetting
+        its log (bounds replay work after the next crash)."""
+        if self._durable is None:
+            raise ValueError("checkpoint() requires a DurableIndex target")
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        self._rwlock.acquire_write()
+        try:
+            self._durable.checkpoint()
+        finally:
+            self._rwlock.release_write()
+        self.metrics.counter("service.checkpoints").inc()
 
     # ------------------------------------------------------------------
     # Worker pool

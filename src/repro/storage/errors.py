@@ -1,0 +1,43 @@
+"""Structured corruption errors for the durable storage boundary.
+
+Everything that crosses the process boundary — the write-ahead log and
+the checksummed snapshot — detects damage instead of mis-parsing it.
+All errors subclass :class:`ValueError` (the contract existing callers
+and the corruption fuzz tests rely on) and carry the byte ``offset`` of
+the damage plus a human-readable ``detail``, so a failed load names
+exactly where the file went bad.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CorruptionError", "WalCorruptionError", "SnapshotCorruptionError"]
+
+
+class CorruptionError(ValueError):
+    """On-disk bytes failed validation (checksum, framing, or bounds).
+
+    Attributes:
+        offset: Byte offset of the damaged region within the file, or
+            ``None`` when the damage has no single position (e.g. a file
+            shorter than its fixed header).
+        detail: What check failed, in words.
+    """
+
+    def __init__(self, detail: str, offset: Optional[int] = None) -> None:
+        self.detail = detail
+        self.offset = offset
+        if offset is None:
+            super().__init__(detail)
+        else:
+            super().__init__(f"{detail} (at byte offset {offset})")
+
+
+class WalCorruptionError(CorruptionError):
+    """A write-ahead-log record failed its CRC, framing, or LSN check."""
+
+
+class SnapshotCorruptionError(CorruptionError):
+    """A snapshot section (header, page image, or trailer) failed its
+    checksum or structural validation."""

@@ -20,14 +20,23 @@ which holds its own lock.
 from __future__ import annotations
 
 import threading
+import zlib
 from typing import List, Optional
 
 from repro.storage.iostats import IOStats
 
-__all__ = ["PageFile", "DEFAULT_PAGE_SIZE"]
+__all__ = ["PageFile", "DEFAULT_PAGE_SIZE", "page_checksum"]
 
 DEFAULT_PAGE_SIZE = 4096
 """The paper's page size P = 4 KB (Section 6.3)."""
+
+
+def page_checksum(data: bytes) -> int:
+    """CRC32 of a page image — the value persisted in the page footer
+    that follows every page in the snapshot stream (I3IX v2), so a torn
+    or bit-flipped page is detected on load instead of being mis-parsed
+    as tuples."""
+    return zlib.crc32(data)
 
 
 class PageFile:
@@ -96,6 +105,13 @@ class PageFile:
             data = bytes(self._pages[page_id])
         self.stats.record_read(self.component, key=page_id)
         return data
+
+    def checksum(self, page_id: int) -> int:
+        """Checksum of one page's current image (no I/O cost — integrity
+        metadata, not query work)."""
+        with self._lock:
+            self._check(page_id)
+            return page_checksum(bytes(self._pages[page_id]))
 
     def write(self, page_id: int, data: bytes) -> None:
         """Overwrite one page; costs one write I/O.

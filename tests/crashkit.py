@@ -1,0 +1,144 @@
+"""Deterministic crash-point injection for the durable write path.
+
+The durability layer does every side-effecting file operation through a
+:class:`repro.storage.fs.FileSystem`.  :class:`CrashPointFS` is the
+test double: it counts those operations (writes, fsyncs, renames,
+truncates) and kills the workload-under-test *before* the Nth one by
+raising :class:`SimulatedCrash`.  Because files are opened unbuffered,
+the bytes of every operation that ran are on disk and nothing of the
+one that didn't is — the truncation crash model the WAL is designed
+for (a killed process keeps its completed ``write(2)`` calls; see
+:mod:`repro.storage.fs`).
+
+The crash-matrix suite uses it in two passes: run the workload once
+with no crash point to learn the total operation count, then re-run it
+once per ``crash_at`` in ``1..total``, recover from the files the
+"dead process" left behind, and check the recovered state against an
+acknowledged-prefix reference.
+
+:class:`SimulatedCrash` extends ``BaseException`` so no ``except
+Exception`` cleanup handler inside the code under test can swallow the
+crash and keep writing — exactly like a real ``SIGKILL``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, Optional
+
+from repro.storage.fs import FileSystem
+
+__all__ = ["SimulatedCrash", "CrashPointFS", "run_workload"]
+
+
+class SimulatedCrash(BaseException):
+    """The process-under-test died at an injected crash point."""
+
+
+class _CrashFile:
+    """Unbuffered file wrapper routing mutating calls through the
+    crash counter.  Reads are free: crashes model lost writes."""
+
+    def __init__(self, fh: BinaryIO, fs: "CrashPointFS") -> None:
+        self._fh = fh
+        self._fs = fs
+
+    def write(self, data: bytes) -> int:
+        self._fs.tick("write")
+        return self._fh.write(data)
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        self._fs.tick("truncate")
+        if size is None:
+            return self._fh.truncate()
+        return self._fh.truncate(size)
+
+    def read(self, *args):
+        return self._fh.read(*args)
+
+    def seek(self, *args) -> int:
+        return self._fh.seek(*args)
+
+    def tell(self) -> int:
+        return self._fh.tell()
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def fileno(self) -> int:
+        return self._fh.fileno()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def __enter__(self) -> "_CrashFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class CrashPointFS(FileSystem):
+    """A filesystem that dies just before its ``crash_at``-th operation.
+
+    Attributes:
+        crash_at: 1-based index of the first operation that must NOT
+            happen; ``None`` disables crashing (counting pass).
+        ops: Side-effecting operations performed (or attempted) so far.
+        crashed: Whether the crash point fired.
+        trace: Operation kinds in order — lets a failing matrix entry
+            report *what* the fatal operation would have been.
+    """
+
+    def __init__(self, crash_at: Optional[int] = None) -> None:
+        self.crash_at = crash_at
+        self.ops = 0
+        self.crashed = False
+        self.trace: list = []
+
+    def tick(self, kind: str) -> None:
+        """Count one side-effecting operation, crashing if it is the
+        chosen one.  Once dead, every later operation dies too."""
+        self.ops += 1
+        self.trace.append(kind)
+        if self.crash_at is not None and self.ops >= self.crash_at:
+            self.crashed = True
+            raise SimulatedCrash(f"crashed before op {self.ops} ({kind})")
+
+    # -- FileSystem overrides -------------------------------------------
+    def open(self, path: str, mode: str) -> "_CrashFile":
+        if "b" not in mode:
+            raise ValueError(f"CrashPointFS.open requires binary mode, got {mode!r}")
+        # buffering=0 keeps the disk state exactly op-granular: bytes of
+        # op N are fully on disk before op N+1 can crash.
+        return _CrashFile(open(path, mode, buffering=0), self)
+
+    def fsync(self, fh) -> None:
+        # Counted like the real thing, but skips os.fsync: with
+        # unbuffered files durability is already byte-exact, and the
+        # matrix runs hundreds of workloads.
+        self.tick("fsync")
+        fh.flush()
+
+    def replace(self, src: str, dst: str) -> None:
+        self.tick("replace")
+        os.replace(src, dst)
+
+
+def run_workload(workload, crash_at: Optional[int] = None) -> CrashPointFS:
+    """Run ``workload(fs)`` under a crash point; returns the filesystem.
+
+    ``workload`` must treat the injected ``fs`` as its only route to
+    disk.  A :class:`SimulatedCrash` is absorbed here (the "process"
+    just died); any other exception propagates as a real test failure.
+    """
+    fs = CrashPointFS(crash_at)
+    try:
+        workload(fs)
+    except SimulatedCrash:
+        pass
+    return fs

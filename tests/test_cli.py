@@ -80,6 +80,65 @@ class TestBuild:
             main(["build", "--corpus", str(empty), "--out", str(tmp_path / "x.i3ix")])
 
 
+class TestDurableBuildAndRecover:
+    def test_build_durable_dir(self, tmp_path, corpus_file):
+        store = tmp_path / "store"
+        assert main(["build", "--corpus", str(corpus_file),
+                     "--durable-dir", str(store)]) == 0
+        assert (store / "snapshot.i3ix").exists()
+        assert (store / "wal.log").exists()
+
+    def test_build_requires_some_destination(self, corpus_file):
+        with pytest.raises(SystemExit, match="--out"):
+            main(["build", "--corpus", str(corpus_file)])
+
+    def test_recover_reports_and_checkpoints(self, tmp_path, corpus_file, capsys):
+        store = tmp_path / "store"
+        assert main(["build", "--corpus", str(corpus_file),
+                     "--durable-dir", str(store)]) == 0
+        wal_before = (store / "wal.log").read_bytes()
+        # Append a mutation so recovery has a tail to replay.
+        from repro.core.recovery import DurableIndex
+        from repro.model.document import SpatialDocument
+
+        du = DurableIndex.open(str(store))
+        doc = SpatialDocument(
+            999_999,
+            du.index.space.min_x,
+            du.index.space.min_y,
+            {"recovered": 1.0},
+        )
+        du.insert_document(doc)
+        du.close()
+        capsys.readouterr()
+        assert main(["recover", "--dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 121 documents" in out
+        assert "replayed 1 WAL records" in out
+        # The default checkpoint folded the tail into a new snapshot.
+        assert (store / "wal.log").read_bytes() != wal_before
+        assert main(["recover", "--dir", str(store), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["records_replayed"] == 0
+        assert report["num_documents"] == 121
+        assert report["checkpointed"] is True
+
+    def test_recover_no_checkpoint_leaves_wal(self, tmp_path, corpus_file, capsys):
+        store = tmp_path / "store"
+        assert main(["build", "--corpus", str(corpus_file),
+                     "--durable-dir", str(store)]) == 0
+        wal_before = (store / "wal.log").read_bytes()
+        assert main(["recover", "--dir", str(store),
+                     "--no-checkpoint", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["checkpointed"] is False
+        assert (store / "wal.log").read_bytes() == wal_before
+
+    def test_recover_missing_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="no durable index"):
+            main(["recover", "--dir", str(tmp_path / "nope")])
+
+
 class TestInfoAndQuery:
     def test_info_renders_report(self, index_file, capsys):
         assert main(["info", "--index", str(index_file)]) == 0

@@ -1,0 +1,235 @@
+"""The crash-point matrix: kill the write path at *every* file
+operation and prove recovery restores exactly the acknowledged state.
+
+One scripted 60-mutation workload (inserts, deletes, updates, with
+checkpoints interleaved) runs once uncrashed to count its file
+operations, then once per crash point: the injected filesystem
+(:mod:`tests.crashkit`) dies before the Nth write/fsync/rename, the
+"restarted process" recovers from whatever the dead one left on disk,
+and the recovered index must be *equivalent to a prefix of the
+acknowledged history*:
+
+* every acknowledged mutation is present (durability — with
+  ``sync_every=1`` an acknowledged mutation returned only after its
+  WAL record was synced);
+* no half-applied mutation is visible (atomicity — the recovered state
+  equals some exact prefix, verified by epoch, counts, invariants and
+  a bank of top-k queries against a prefix-built reference index).
+"""
+
+import random
+
+import pytest
+
+from repro.core.index import I3Index
+from repro.core.recovery import DurableIndex
+from repro.model.document import SpatialDocument
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import UNIT_SQUARE
+
+from tests.crashkit import run_workload
+from tests.helpers import make_documents, results_as_pairs
+
+pytestmark = pytest.mark.durability
+
+ETA = 8
+PAGE_SIZE = 256
+NUM_MUTATIONS = 60
+CHECKPOINT_AFTER = {15, 38, 52}  # mutation counts that trigger a checkpoint
+NUM_QUERY_SHAPES = 50
+
+
+def fresh_index() -> I3Index:
+    return I3Index(UNIT_SQUARE, eta=ETA, page_size=PAGE_SIZE)
+
+
+def build_script():
+    """The deterministic mutation script: (op, args...) tuples that can
+    be replayed onto any index via :func:`apply_mutation`."""
+    rng = random.Random(0xC4A5)
+    docs = make_documents(80, rng)
+    live = []
+    script = []
+    next_doc = 0
+    for i in range(NUM_MUTATIONS):
+        roll = rng.random()
+        if live and roll < 0.2:
+            victim = live.pop(rng.randrange(len(live)))
+            script.append(("delete", victim))
+        elif live and roll < 0.35:
+            pos = rng.randrange(len(live))
+            old = live[pos]
+            new = SpatialDocument(
+                old.doc_id, rng.random(), rng.random(),
+                dict(docs[next_doc % len(docs)].terms),
+            )
+            live[pos] = new
+            script.append(("update", old, new))
+        else:
+            doc = docs[next_doc]
+            next_doc += 1
+            live.append(doc)
+            script.append(("insert", doc))
+    return script
+
+
+def apply_mutation(index, step) -> None:
+    if step[0] == "insert":
+        index.insert_document(step[1])
+    elif step[0] == "delete":
+        index.delete_document(step[1])
+    else:
+        index.update_document(step[1], step[2])
+
+
+def build_queries():
+    rng = random.Random(0x70FF)
+    shapes = []
+    vocab = ["spicy", "chinese", "restaurant", "korean", "pizza",
+             "sushi", "bar", "cafe", "noodle", "grill"]
+    for _ in range(NUM_QUERY_SHAPES):
+        words = tuple(rng.sample(vocab, rng.randint(1, 3)))
+        for semantics in (Semantics.AND, Semantics.OR):
+            shapes.append(
+                TopKQuery(rng.random(), rng.random(), words, k=6,
+                          semantics=semantics)
+            )
+    return shapes
+
+
+SCRIPT = build_script()
+QUERIES = build_queries()
+RANKER = Ranker(UNIT_SQUARE, alpha=0.5)
+
+
+class _Progress:
+    """Mutable view of how far one workload run got before dying."""
+
+    def __init__(self):
+        self.acked = 0  # mutation calls that returned (durable)
+        self.submitted = 0  # mutation calls that started (may be on disk)
+
+
+def workload(fs, directory, progress):
+    du = DurableIndex.create(directory, fresh_index(), fs=fs)
+    for count, step in enumerate(SCRIPT, start=1):
+        progress.submitted += 1
+        apply_mutation(du, step)
+        progress.acked += 1
+        if count in CHECKPOINT_AFTER:
+            du.checkpoint()
+    du.close()
+
+
+class _ReferenceBank:
+    """Prefix reference indexes and their query answers, cached per
+    prefix length M (many crash points recover to the same M)."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def get(self, m):
+        if m not in self._cache:
+            index = fresh_index()
+            for step in SCRIPT[:m]:
+                apply_mutation(index, step)
+            answers = [
+                results_as_pairs(index.query(q, RANKER)) for q in QUERIES
+            ]
+            self._cache[m] = (index, answers)
+        return self._cache[m]
+
+
+def count_total_ops(tmp_path):
+    progress = _Progress()
+    fs = run_workload(lambda f: workload(f, str(tmp_path / "count"), progress))
+    assert not fs.crashed
+    assert progress.acked == NUM_MUTATIONS
+    return fs.ops
+
+
+def test_crash_matrix(tmp_path):
+    total_ops = count_total_ops(tmp_path)
+    assert total_ops > 2 * NUM_MUTATIONS  # every mutation writes and syncs
+    references = _ReferenceBank()
+    recovered_ms = set()
+    for crash_at in range(1, total_ops + 1):
+        directory = str(tmp_path / f"crash{crash_at}")
+        progress = _Progress()
+        fs = run_workload(
+            lambda f: workload(f, directory, progress), crash_at=crash_at
+        )
+        assert fs.crashed, f"crash point {crash_at} never fired"
+        try:
+            du = DurableIndex.open(directory)
+        except FileNotFoundError:
+            # Died inside the very first checkpoint, before any snapshot
+            # landed: nothing was ever acknowledged, so losing the store
+            # is correct.
+            assert progress.acked == 0, (
+                f"crash point {crash_at}: store unrecoverable after "
+                f"{progress.acked} acknowledged mutations"
+            )
+            continue
+        report = du.last_report
+        m = report.mutations_recovered
+        context = (
+            f"crash point {crash_at}/{total_ops} "
+            f"(before a {fs.trace[crash_at - 1]}): recovered M={m}, "
+            f"acked={progress.acked}, submitted={progress.submitted}"
+        )
+        # Durability: everything acknowledged is back.  Atomicity: at
+        # most the submitted prefix, never an invented mutation.
+        assert progress.acked <= m <= progress.submitted, context
+        recovered_ms.add(m)
+        reference, answers = references.get(m)
+        assert du.index.epoch == reference.epoch, context
+        assert du.index.num_documents == reference.num_documents, context
+        assert du.index.num_tuples == reference.num_tuples, context
+        du.index.check_invariants()
+        for query, expected in zip(QUERIES, answers):
+            got = results_as_pairs(du.index.query(query, RANKER))
+            assert got == expected, f"{context}; query {query} diverged"
+        du.close()
+    # The matrix must actually exercise intermediate states, not just
+    # the empty store and the full history.
+    assert len(recovered_ms) > 10, sorted(recovered_ms)
+
+
+def test_crash_during_recovery_checkpoint(tmp_path):
+    """Crashing *inside the post-recovery checkpoint* must leave the
+    store recoverable again — recovery itself is crash-safe."""
+    directory = str(tmp_path / "store")
+    progress = _Progress()
+    run_workload(lambda f: workload(f, directory, progress))
+    # Checkpoint after recovery, dying at every one of its operations.
+    crash_at = 1
+    while True:
+        du = DurableIndex.open(directory)
+        fs = run_workload(
+            lambda f: _checkpoint_with(du, f), crash_at=crash_at
+        )
+        du.close()
+        if not fs.crashed:
+            break
+        survivor = DurableIndex.open(directory)
+        assert survivor.last_report.mutations_recovered == NUM_MUTATIONS
+        assert survivor.index.num_documents > 0
+        survivor.index.check_invariants()
+        survivor.close()
+        crash_at += 1
+    assert crash_at > 3  # the checkpoint protocol has several steps
+
+
+def _checkpoint_with(du, fs):
+    du._fs = fs
+    du._wal._fs = fs
+    try:
+        du.checkpoint()
+    finally:
+        from repro.storage.fs import OS_FILESYSTEM
+
+        du._fs = OS_FILESYSTEM
+        if du._wal is not None:
+            du._wal._fs = OS_FILESYSTEM

@@ -1,4 +1,4 @@
-"""Round-trip tests for the binary index format (I3IX v1)."""
+"""Round-trip tests for the binary index format (I3IX v2)."""
 
 import random
 
@@ -123,7 +123,9 @@ class TestFormatValidation:
 
     def test_format_constants(self):
         assert MAGIC == b"I3IX"
-        assert FORMAT_VERSION == 1
+        # v2 added the durability fields: epoch + last-LSN in the
+        # header, header/page/tail checksums throughout.
+        assert FORMAT_VERSION == 2
 
 
 class TestCorruptionRobustness:
