@@ -1,0 +1,137 @@
+"""Standing-query scaling: ingest cost vs number of standing queries.
+
+Sweeps the streaming subsystem over 0/50/200/1000 registered standing
+queries against the same live mutation feed (inserts with interleaved
+deletions) and writes the machine-readable sweep to
+``BENCH_stream.json`` at the repository root (the artifact CI uploads).
+
+The point of the sweep is the registry's pruning: per-mutation cost must
+grow far sublinearly in the number of standing queries, because the
+keyword × grid buckets narrow each event to the few queries it can
+affect and the k-th-score bounds discard most of those without scoring.
+The report test asserts the headline contract — per-mutation cost with
+1000 standing queries stays within 5x the 50-query cost.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+from typing import Dict
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.cli import _standing_queries
+from repro.core.index import I3Index
+from repro.streaming import StreamConfig, StreamingService
+
+STANDING = (0, 50, 200, 1000)
+DATASET = "Twitter10M"
+DELETE_EVERY = 25
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+_results: Dict[int, dict] = {}
+
+
+@pytest.mark.parametrize("standing", STANDING)
+@pytest.mark.benchmark(group="stream-throughput")
+def test_stream_throughput(benchmark, corpus_factory, profile, standing):
+    corpus = corpus_factory(DATASET)
+    half = len(corpus.documents) // 2
+    base, feed = corpus.documents[:half], corpus.documents[half:]
+
+    def run():
+        rng = random.Random(profile.seed)
+        index = I3Index(corpus.space)
+        index.bulk_load(base)
+        streams = StreamingService(
+            index, StreamConfig(queue_capacity=64, policy="coalesce")
+        )
+        sub = streams.subscribe("bench")
+        for query in _standing_queries(corpus, standing, profile.seed):
+            streams.register(sub, query, alpha=rng.choice((0.2, 0.5, 0.8)))
+        sub.poll()  # drain registration snapshots before timing
+        live = []
+        mutations = 0
+        start = time.perf_counter()
+        for i, doc in enumerate(feed):
+            index.insert_document(doc)
+            live.append(doc)
+            mutations += 1
+            if i % DELETE_EVERY == DELETE_EVERY - 1:
+                index.delete_document(live.pop(rng.randrange(len(live))))
+                mutations += 1
+        wall = time.perf_counter() - start
+        delivered = len(sub.poll())
+        snapshot = streams.metrics.as_dict()
+        streams.close()
+        return wall, mutations, delivered, snapshot
+
+    wall, mutations, delivered, snapshot = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    counters = snapshot["counters"]
+    events = counters.get("stream.events", 0)
+    assert events == mutations or standing == 0
+    if standing:
+        assert delivered > 0  # the feed must actually change some answers
+    _results[standing] = {
+        "standing_queries": standing,
+        "mutations": mutations,
+        "wall_seconds": wall,
+        "mutations_per_second": mutations / wall if wall > 0 else 0.0,
+        "us_per_mutation": 1e6 * wall / mutations if mutations else 0.0,
+        "updates_delivered": delivered,
+        "queries_touched": counters.get("stream.queries_touched", 0),
+        "buckets_skipped": counters.get("stream.buckets_skipped", 0),
+        "requeries": counters.get("stream.requeries", 0),
+    }
+
+
+@pytest.mark.benchmark(group="stream-throughput")
+def test_stream_report(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Streaming ingest — per-mutation cost vs standing-query count "
+        f"({DATASET}, mixed AND/OR FREQ shapes, delete every {DELETE_EVERY})",
+        ["standing", "mut/s", "us/mut", "touched", "skipped", "requeries"],
+    )
+    measured = sorted(_results)
+    for standing in measured:
+        row = _results[standing]
+        table.add_row(
+            standing,
+            round(row["mutations_per_second"], 1),
+            round(row["us_per_mutation"], 1),
+            row["queries_touched"],
+            row["buckets_skipped"],
+            row["requeries"],
+        )
+    collect(table.render())
+
+    for standing in measured:
+        assert _results[standing]["mutations_per_second"] > 0
+    if 50 in _results and 1000 in _results:
+        # The headline scaling contract: 20x the standing queries must
+        # cost at most 5x per mutation — the registry prunes the rest.
+        assert (
+            _results[1000]["us_per_mutation"]
+            <= 5.0 * _results[50]["us_per_mutation"]
+        ), "standing-query pruning regressed: 1000-query cost above 5x 50-query"
+
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "stream-throughput",
+                "dataset": DATASET,
+                "profile": profile.name,
+                "delete_every": DELETE_EVERY,
+                "sweep": [_results[standing] for standing in measured],
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -35,6 +35,13 @@ from repro.model import (
 )
 from repro.service import QueryService, ServiceConfig
 from repro.spatial.geometry import Rect, UNIT_SQUARE
+from repro.streaming import (
+    ResultUpdate,
+    StreamCheckpoint,
+    StreamConfig,
+    StreamingService,
+    StreamSubscription,
+)
 
 __version__ = "1.0.0"
 
@@ -55,5 +62,10 @@ __all__ = [
     "ServiceConfig",
     "Rect",
     "UNIT_SQUARE",
+    "ResultUpdate",
+    "StreamCheckpoint",
+    "StreamConfig",
+    "StreamingService",
+    "StreamSubscription",
     "__version__",
 ]

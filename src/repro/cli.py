@@ -250,6 +250,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         service.search_batch(queries)
         elapsed = time.perf_counter() - start
         snapshot = service.metrics_snapshot()
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(service.metrics.render_prometheus())
+            print(f"prometheus metrics -> {args.metrics_out}", file=sys.stderr)
     snapshot["service"]["wall_seconds"] = elapsed
     snapshot["service"]["qps"] = len(queries) / elapsed if elapsed > 0 else 0.0
     if args.json:
@@ -283,6 +287,94 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 f"buffer pool: {pool['logical_reads']} logical reads, "
                 f"{pool['misses']} misses ({100 * pool['hit_ratio']:.0f}% hit)"
             )
+    return 0
+
+
+def _standing_queries(corpus, count: int, seed: int) -> List[TopKQuery]:
+    """A mixed standing-query workload: FREQ-derived shapes with
+    randomised k, alternating AND/OR semantics (alpha is randomised at
+    registration time, per query)."""
+    from repro.datasets.querylog import QueryLogGenerator
+
+    rng = random.Random(seed)
+    qlog = QueryLogGenerator(corpus, seed=seed)
+    base: List[TopKQuery] = []
+    qn = 1
+    while len(base) < count:
+        take = min(count - len(base), 100)
+        base.extend(qlog.freq(1 + qn % 3, count=take, k=10).queries)
+        qn += 1
+    queries = []
+    for i, query in enumerate(base[:count]):
+        shaped = query.with_k(rng.choice((1, 5, 10, 20)))
+        if i % 2:
+            shaped = shaped.with_semantics(Semantics.AND)
+        queries.append(shaped)
+    return queries
+
+
+def _cmd_stream_bench(args: argparse.Namespace) -> int:
+    from repro.streaming import StreamConfig, StreamingService
+
+    corpus = TwitterLikeGenerator(args.docs, seed=args.seed).generate()
+    documents = corpus.documents
+    primed = documents[: args.docs // 2]
+    feed = documents[args.docs // 2 :]
+    index = I3Index(corpus.space, page_size=args.page_size)
+    if primed:
+        index.bulk_load(primed)
+    streams = StreamingService(
+        index,
+        StreamConfig(queue_capacity=args.queue_capacity, policy=args.policy),
+    )
+    sub = streams.subscribe("stream-bench")
+    rng = random.Random(args.seed)
+    for query in _standing_queries(corpus, args.standing, args.seed):
+        streams.register(sub, query, alpha=rng.choice((0.2, 0.5, 0.8)))
+    sub.poll()  # drain registration snapshots
+    live = list(primed)
+    delivered = 0
+    mutations = 0
+    start = time.perf_counter()
+    for i, doc in enumerate(feed):
+        index.insert_document(doc)
+        live.append(doc)
+        mutations += 1
+        if args.delete_every and i % args.delete_every == args.delete_every - 1:
+            index.delete_document(live.pop(rng.randrange(len(live))))
+            mutations += 1
+        delivered += len(sub.poll())
+    elapsed = time.perf_counter() - start
+    counters = streams.metrics.as_dict()["counters"]
+    report = {
+        "docs": args.docs,
+        "standing_queries": args.standing,
+        "mutations": mutations,
+        "wall_seconds": elapsed,
+        "mutations_per_second": mutations / elapsed if elapsed > 0 else 0.0,
+        "updates_delivered": delivered,
+        "updates_dropped": sub.dropped,
+        "stream": {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("stream.")
+        },
+    }
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        print(
+            f"{mutations} mutations against {args.standing} standing queries: "
+            f"{report['mutations_per_second']:.0f} mutations/s in {elapsed:.2f}s"
+        )
+        print(
+            f"delivered {delivered} updates ({sub.dropped} dropped); "
+            f"{counters.get('stream.requeries', 0)} re-queries, "
+            f"{counters.get('stream.buckets_skipped', 0)} buckets pruned, "
+            f"{counters.get('stream.queries_touched', 0)} queries touched"
+        )
+    streams.close()
     return 0
 
 
@@ -516,7 +608,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--page-size", type=int, default=4096)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", action="store_true", help="JSON metrics output")
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the Prometheus text exposition of the run's metrics here",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    stream = sub.add_parser(
+        "stream-bench",
+        help="ingest a live document feed against standing top-k queries "
+        "and report streaming metrics",
+    )
+    stream.add_argument(
+        "--docs", type=int, default=2000,
+        help="twitter-like corpus size (half primes the index, half streams)",
+    )
+    stream.add_argument(
+        "--standing", type=int, default=200,
+        help="standing queries registered before the feed starts",
+    )
+    stream.add_argument(
+        "--delete-every", type=int, default=25,
+        help="interleave one deletion every N inserts (0 disables)",
+    )
+    stream.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="bounded subscription queue depth",
+    )
+    stream.add_argument(
+        "--policy", choices=["coalesce", "drop_oldest"], default="coalesce",
+        help="subscription overflow policy",
+    )
+    stream.add_argument("--page-size", type=int, default=4096)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--json", action="store_true", help="JSON report")
+    stream.set_defaults(func=_cmd_stream_bench)
 
     shard = sub.add_parser(
         "shard-bench",

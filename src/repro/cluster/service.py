@@ -193,6 +193,7 @@ class ClusterService:
         self._closed = False
         self._close_lock = threading.Lock()
         self._started = time.monotonic()
+        self._stream_router = None  # lazily built by stream_router()
         self.metrics.gauge("cluster.shards").set(len(shards))
         self.metrics.gauge("cluster.replicas").set(self.config.replicas)
 
@@ -287,6 +288,23 @@ class ClusterService:
             rep = self._first_alive(sid) or self._shards[sid][0]
             total += rep.index.epoch
         return total
+
+    def stream_router(self, config=None):
+        """The cluster's :class:`~repro.streaming.ClusterStreamRouter`.
+
+        Built lazily on first call (``config`` — a
+        :class:`~repro.streaming.StreamConfig` — applies then); standing
+        queries registered through it are maintained on every shard and
+        merged into global top-k notifications (see
+        :mod:`repro.streaming.cluster`).
+        """
+        if self._closed:
+            raise ServiceClosed("cluster service is closed")
+        if self._stream_router is None:
+            from repro.streaming.cluster import ClusterStreamRouter
+
+            self._stream_router = ClusterStreamRouter(self, config=config)
+        return self._stream_router
 
     def recover(self, shard_id: int, replica_id: int = 0) -> "RecoveryReport":
         """Recover one replica from its durable store and rejoin it.
@@ -593,6 +611,8 @@ class ClusterService:
             if self._closed:
                 return
             self._closed = True
+        if self._stream_router is not None:
+            self._stream_router.close()
         for replicas in self._shards:
             for rep in replicas:
                 rep.service.close()

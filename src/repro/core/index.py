@@ -23,7 +23,8 @@ Query processing lives in :mod:`repro.core.query`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.core.headfile import CellPages, HeadFile, SummaryInfo, SummaryNode
 from repro.core.kwcells import DataFile
@@ -39,7 +40,7 @@ from repro.storage.iostats import IOStats
 from repro.storage.pager import DEFAULT_PAGE_SIZE
 from repro.storage.records import StoredTuple, f32
 
-__all__ = ["I3Index", "DEFAULT_ETA", "DEFAULT_MAX_DEPTH"]
+__all__ = ["I3Index", "MutationEvent", "DEFAULT_ETA", "DEFAULT_MAX_DEPTH"]
 
 DEFAULT_ETA = 300
 """The paper's tuned signature length (Figure 5)."""
@@ -47,6 +48,27 @@ DEFAULT_ETA = 300
 DEFAULT_MAX_DEPTH = 24
 """Quadtree depth limit; cells this deep chain pages instead of splitting,
 which keeps pathological co-located tuple sets from splitting forever."""
+
+
+@dataclass(frozen=True, slots=True)
+class MutationEvent:
+    """One observed index mutation, delivered to mutation listeners.
+
+    Attributes:
+        kind: ``"insert"`` / ``"delete"`` for whole-document operations
+            (``update_document`` emits its delete and insert halves),
+            ``"tuple_insert"`` / ``"tuple_delete"`` for raw tuple
+            operations outside a document operation (``doc`` is then a
+            synthesised single-term document; deletes carry weight 0.0
+            because the stored weight is unknown at the call site), and
+            ``"bulk_load"`` (``doc`` is ``None``).
+        epoch: The index mutation epoch *after* the operation applied.
+        doc: The document the operation concerned, if any.
+    """
+
+    kind: str
+    epoch: int
+    doc: Optional[SpatialDocument]
 
 
 class I3Index:
@@ -100,6 +122,11 @@ class I3Index:
         # (see keyword_bound); missing entries are computed on demand.
         self._word_bound: Dict[str, float] = {}
         self._processor = I3QueryProcessor(self)
+        # Mutation listeners (the streaming subsystem's hook).  Events
+        # are emitted synchronously after each mutation applies; with no
+        # listeners registered the write path pays one truthiness check.
+        self._listeners: List[Callable[[MutationEvent], None]] = []
+        self._doc_op_depth = 0
 
     @property
     def capacity(self) -> int:
@@ -112,24 +139,65 @@ class I3Index:
         self.data.clear_cache()
 
     # ------------------------------------------------------------------
+    # Mutation listeners
+    # ------------------------------------------------------------------
+    def add_mutation_listener(
+        self, listener: Callable[[MutationEvent], None]
+    ) -> None:
+        """Register a callback invoked after every mutation applies.
+
+        Listeners run synchronously on the mutating thread, after the
+        index state (and :attr:`epoch`) reflects the operation — a
+        listener that queries the index observes the post-mutation
+        state.  Listeners must not mutate the index.
+        """
+        self._listeners.append(listener)
+
+    def remove_mutation_listener(
+        self, listener: Callable[[MutationEvent], None]
+    ) -> None:
+        """Unregister a previously added listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit(self, kind: str, doc: Optional[SpatialDocument]) -> None:
+        if not self._listeners:
+            return
+        event = MutationEvent(kind=kind, epoch=self.epoch, doc=doc)
+        for listener in list(self._listeners):
+            listener(event)
+
+    # ------------------------------------------------------------------
     # Document-level operations
     # ------------------------------------------------------------------
     def insert_document(self, doc: SpatialDocument) -> None:
         """Insert a spatial document (one tuple per distinct keyword)."""
         if not self.space.contains_point(doc.x, doc.y):
             raise ValueError(f"document {doc.doc_id} lies outside the data space")
-        for t in doc.tuples():
-            self.insert_tuple(t)
+        self._doc_op_depth += 1
+        try:
+            for t in doc.tuples():
+                self.insert_tuple(t)
+        finally:
+            self._doc_op_depth -= 1
         self.num_documents += 1
+        self._emit("insert", doc)
 
     def delete_document(self, doc: SpatialDocument) -> bool:
         """Delete a previously inserted document; True if all its tuples
         were found."""
         ok = True
-        for t in doc.tuples():
-            ok &= self.delete_tuple(t.word, t.doc_id, t.x, t.y)
+        self._doc_op_depth += 1
+        try:
+            for t in doc.tuples():
+                ok &= self.delete_tuple(t.word, t.doc_id, t.x, t.y)
+        finally:
+            self._doc_op_depth -= 1
         if self.num_documents > 0:
             self.num_documents -= 1
+        self._emit("delete", doc)
         return ok
 
     def update_document(self, old: SpatialDocument, new: SpatialDocument) -> None:
@@ -185,6 +253,7 @@ class I3Index:
             self._word_bound[word] = max(r.weight for r in records)
         self.num_documents = count
         self.epoch += 1
+        self._emit("bulk_load", None)
 
     # ------------------------------------------------------------------
     # Tuple insertion (Algorithms 1-3)
@@ -202,14 +271,19 @@ class I3Index:
             cell = self.data.create_cell([record])
             self.lookup.set_non_dense(t.word, cell)
             self._word_bound[t.word] = record.weight
-            return
-        cached_bound = self._word_bound.get(t.word)
-        if cached_bound is not None:
-            self._word_bound[t.word] = max(cached_bound, record.weight)
-        if not entry.dense:
-            self._insert_non_dense_root(t.word, entry.target, record)
-            return
-        self._insert_dense(t.word, entry.target, record)
+        else:
+            cached_bound = self._word_bound.get(t.word)
+            if cached_bound is not None:
+                self._word_bound[t.word] = max(cached_bound, record.weight)
+            if not entry.dense:
+                self._insert_non_dense_root(t.word, entry.target, record)
+            else:
+                self._insert_dense(t.word, entry.target, record)
+        if self._doc_op_depth == 0 and self._listeners:
+            self._emit(
+                "tuple_insert",
+                SpatialDocument(t.doc_id, t.x, t.y, {t.word: t.weight}),
+            )
 
     def _insert_non_dense_root(
         self, word: str, cell: CellPages, record: StoredTuple
@@ -311,6 +385,16 @@ class I3Index:
         Dense status is sticky: a cell that shrinks below capacity keeps
         its summary node, matching the paper's lack of a merge step.
         """
+        found = self._delete_tuple(word, doc_id, x, y)
+        if found and self._doc_op_depth == 0 and self._listeners:
+            # The stored weight is unknown at the call site; listeners
+            # treat tuple deletes conservatively anyway.
+            self._emit(
+                "tuple_delete", SpatialDocument(doc_id, x, y, {word: 0.0})
+            )
+        return found
+
+    def _delete_tuple(self, word: str, doc_id: int, x: float, y: float) -> bool:
         entry = self.lookup.get(word)
         if entry is None:
             return False

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import random
+import re
 import threading
 from typing import Dict, List, Optional
 
@@ -228,3 +229,46 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = None) -> str:
         """The :meth:`as_dict` export serialised as JSON."""
         return json.dumps(self.as_dict(), indent=indent)
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """The Prometheus text exposition of every metric.
+
+        Dotted names become underscore-joined and ``prefix``-ed
+        (``queries.completed`` -> ``repro_queries_completed``); counters
+        and gauges render as single samples, histograms as summaries —
+        ``{quantile="..."}``-labelled p50/p95/p99 samples plus the
+        conventional ``_sum`` and ``_count`` series.  Output is grouped
+        by kind, name-sorted within each group, ends with a newline and
+        is stable for a given metric state — suitable both for an
+        exporter endpoint and for golden tests.
+        """
+        snapshot = self.as_dict()
+
+        def sample(name: str) -> str:
+            cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+            return f"{prefix}_{cleaned}"
+
+        def fmt(value: float) -> str:
+            if isinstance(value, float) and value.is_integer():
+                return str(int(value))
+            return repr(value)
+
+        lines: List[str] = []
+        for name, value in snapshot["counters"].items():
+            metric = sample(name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {fmt(value)}")
+        for name, value in snapshot["gauges"].items():
+            metric = sample(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {fmt(value)}")
+        for name, summary in snapshot["histograms"].items():
+            metric = sample(name)
+            lines.append(f"# TYPE {metric} summary")
+            for label, quantile in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} {fmt(summary[quantile])}'
+                )
+            lines.append(f"{metric}_sum {fmt(summary['mean'] * summary['count'])}")
+            lines.append(f"{metric}_count {fmt(float(summary['count']))}")
+        return "\n".join(lines) + "\n"

@@ -207,6 +207,7 @@ class QueryService:
             else None
         )
         self._admission = AdmissionController(self.config.max_pending)
+        self._streams = None  # lazily built by streams()
         self._rwlock = _ReadWriteLock()
         self._queue: "SimpleQueue" = SimpleQueue()
         self._closed = False
@@ -351,6 +352,31 @@ class QueryService:
         """The durable target, or ``None`` for in-memory targets."""
         return self._durable
 
+    @property
+    def index(self) -> I3Index:
+        """The index currently being served (changes on :meth:`recover`)."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Streaming (standing queries)
+    # ------------------------------------------------------------------
+    def streams(self, config=None):
+        """The service's :class:`~repro.streaming.StreamingService`.
+
+        Built lazily on first call (``config`` applies then; later calls
+        return the same instance).  Standing-query maintenance runs
+        inside the same exclusive lock as the mutation that triggered
+        it, so subscribers never observe a top-k computed against a
+        half-applied update.
+        """
+        if self._streams is None:
+            from repro.streaming.service import StreamingService
+
+            self._streams = StreamingService(
+                self, config=config, metrics=self.metrics
+            )
+        return self._streams
+
     def recover(self) -> RecoveryReport:
         """Rebuild the served index from disk, under the write lock.
 
@@ -370,6 +396,8 @@ class QueryService:
             self._index = self._durable.index
             if self.cache is not None:
                 self.cache.invalidate()
+            if self._streams is not None:
+                self._streams.rebind(self._index)
         finally:
             self._rwlock.release_write()
         self.metrics.counter("service.recoveries").inc()
@@ -512,6 +540,8 @@ class QueryService:
             if self._closed:
                 return
             self._closed = True
+        if self._streams is not None:
+            self._streams.close()
         if not drain:
             # Fail everything still queued; sentinels go in behind them.
             cancelled: List[_Task] = []

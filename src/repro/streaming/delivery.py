@@ -1,0 +1,210 @@
+"""Delivery: bounded per-subscriber update queues with backpressure policy.
+
+A push system must decide what happens when a subscriber consumes slower
+than the index mutates.  Unbounded queues are a memory leak wearing a
+trench coat; this layer bounds every subscription and makes the
+overflow behaviour an explicit policy:
+
+* ``"coalesce"`` (default) — the queue holds at most one pending update
+  per standing query, always the *latest*: a new update for a query
+  already queued replaces it in place (updates carry full result
+  snapshots, not diffs, so the older one is redundant).  Overflow of
+  *distinct* queries drops the oldest entry.
+* ``"drop_oldest"`` — a plain FIFO ring: every update is queued, the
+  oldest is dropped on overflow.
+
+Updates carry the index epoch and (on durable targets) the WAL LSN they
+correspond to, so a subscriber can acknowledge progress and later
+resume from its last acknowledged LSN (:mod:`repro.streaming.tail`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.model.results import ScoredDoc
+
+__all__ = ["ResultUpdate", "StreamSubscription", "POLICIES"]
+
+POLICIES = ("coalesce", "drop_oldest")
+
+# Offer outcomes (also the metric suffixes the service counts).
+QUEUED = "queued"
+COALESCED = "coalesced"
+DROPPED = "dropped"
+
+
+@dataclass(frozen=True, slots=True)
+class ResultUpdate:
+    """One incremental notification for one standing query.
+
+    Attributes:
+        query_id: The standing query this update belongs to.
+        kind: ``"snapshot"`` (registration / resume seed) or
+            ``"update"`` (incremental change).
+        epoch: Index mutation epoch the results correspond to.
+        lsn: WAL LSN the results correspond to (``None`` on non-durable
+            targets) — acknowledge this to enable replay-based resume.
+        seq: Per-subscription monotone sequence number.
+        results: The query's full current top-k, best first.  Full
+            snapshots (not diffs) make updates trivially coalescable
+            and resumable.
+    """
+
+    query_id: int
+    kind: str
+    epoch: int
+    lsn: Optional[int]
+    seq: int
+    results: Tuple[ScoredDoc, ...]
+
+
+class StreamSubscription:
+    """A bounded, thread-safe update queue for one subscriber.
+
+    Producers (the mutating thread, via the streaming service) call
+    :meth:`offer`; the subscriber calls :meth:`poll` — from any thread,
+    no index or service lock required — and :meth:`ack`.
+    """
+
+    def __init__(
+        self,
+        subscriber_id: str,
+        capacity: int = 256,
+        policy: str = "coalesce",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self.subscriber_id = subscriber_id
+        self.capacity = capacity
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._coalesced: "OrderedDict[int, ResultUpdate]" = OrderedDict()
+        self._fifo: "deque[ResultUpdate]" = deque()
+        self._seq = 0
+        self._dropped = 0
+        self._closed = False
+        self.last_acked_lsn = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def offer(self, update: ResultUpdate) -> str:
+        """Enqueue one update; returns what happened to it.
+
+        ``"queued"`` — appended; ``"coalesced"`` — replaced a pending
+        update of the same query; ``"dropped"`` — appended, but the
+        oldest pending entry was evicted to make room.  Offers to a
+        closed subscription are silently dropped.
+        """
+        with self._lock:
+            if self._closed:
+                return DROPPED
+            self._seq += 1
+            stamped = ResultUpdate(
+                query_id=update.query_id,
+                kind=update.kind,
+                epoch=update.epoch,
+                lsn=update.lsn,
+                seq=self._seq,
+                results=update.results,
+            )
+            if self.policy == "coalesce":
+                if stamped.query_id in self._coalesced:
+                    self._coalesced[stamped.query_id] = stamped
+                    self._coalesced.move_to_end(stamped.query_id)
+                    self._ready.notify_all()
+                    return COALESCED
+                outcome = QUEUED
+                if len(self._coalesced) >= self.capacity:
+                    self._coalesced.popitem(last=False)
+                    self._dropped += 1
+                    outcome = DROPPED
+                self._coalesced[stamped.query_id] = stamped
+                self._ready.notify_all()
+                return outcome
+            outcome = QUEUED
+            if len(self._fifo) >= self.capacity:
+                self._fifo.popleft()
+                self._dropped += 1
+                outcome = DROPPED
+            self._fifo.append(stamped)
+            self._ready.notify_all()
+            return outcome
+
+    # ------------------------------------------------------------------
+    # Subscriber side
+    # ------------------------------------------------------------------
+    def poll(
+        self,
+        max_items: Optional[int] = None,
+        timeout: Optional[float] = 0.0,
+    ) -> List[ResultUpdate]:
+        """Take pending updates, oldest first.
+
+        ``timeout`` bounds how long to wait for the first update
+        (``0.0`` = non-blocking, ``None`` = wait until one arrives or
+        the subscription closes).  Returns an empty list on timeout or
+        when closed with nothing pending.
+        """
+        with self._lock:
+            if timeout != 0.0:
+                self._ready.wait_for(
+                    lambda: self._depth_locked() > 0 or self._closed,
+                    timeout=timeout,
+                )
+            taken: List[ResultUpdate] = []
+            limit = max_items if max_items is not None else self._depth_locked()
+            while len(taken) < limit and self._depth_locked() > 0:
+                if self.policy == "coalesce":
+                    _, update = self._coalesced.popitem(last=False)
+                else:
+                    update = self._fifo.popleft()
+                taken.append(update)
+            return taken
+
+    def ack(self, lsn: Optional[int]) -> None:
+        """Record that everything up to ``lsn`` was durably consumed."""
+        if lsn is None:
+            return
+        with self._lock:
+            if lsn > self.last_acked_lsn:
+                self.last_acked_lsn = lsn
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def _depth_locked(self) -> int:
+        return (
+            len(self._coalesced)
+            if self.policy == "coalesce"
+            else len(self._fifo)
+        )
+
+    @property
+    def depth(self) -> int:
+        """Pending updates not yet polled."""
+        with self._lock:
+            return self._depth_locked()
+
+    @property
+    def dropped(self) -> int:
+        """Updates lost to overflow since the subscription started."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop accepting updates and wake any blocked poller."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()

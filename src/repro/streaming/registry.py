@@ -1,0 +1,306 @@
+"""FAST-style registry of standing queries: index the queries, not the data.
+
+A continuous-query system inverts the usual lookup: documents arrive one
+at a time and must find the *queries* they affect.  FAST (Mahmood et
+al., arXiv:1709.02529) shows the standing queries therefore need their
+own index.  This registry provides it as a keyword -> query inverted map
+crossed with a coarse spatial grid over the query hotspots:
+
+* queries are grouped into **buckets** keyed by ``(keyword, grid cell)``
+  — one bucket per query keyword, placed at the grid cell containing
+  the query's location (level :attr:`QueryRegistry.grid_level` of the
+  shared quadtree decomposition, :mod:`repro.spatial.cells`);
+* every bucket carries pruning metadata: the rectangle of its grid cell
+  (spatial upper bound for an arriving tuple), the union of its member
+  queries' keywords with reference counts (textual upper bound), the
+  alpha range of its members, and ``min_bound`` — a lower bound on the
+  smallest current k-th score (entry threshold) of its members.
+
+An arriving document is checked against each bucket of each of its
+keywords: if the best score the document could achieve for *any* member
+(upper-bounded over the bucket's alpha range) is strictly below every
+member's entry threshold, the whole bucket is skipped without touching
+a single query.  That makes per-mutation matching cost grow with the
+number of *affected* queries, not registered ones.
+
+``min_bound`` is deliberately maintained as a lazily-tightened lower
+bound: member thresholds only rise as results improve, so a stale-low
+bound merely costs pruning power, never correctness.  It is tightened
+whenever a bucket is scanned anyway, and explicitly lowered through
+:meth:`QueryRegistry.bound_dropped` when a deletion-triggered re-query
+lowers a member's threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.document import SpatialDocument
+from repro.model.query import TopKQuery
+from repro.model.results import ScoredDoc, TopKCollector
+from repro.model.scoring import Ranker
+from repro.spatial.cells import CellGrid, ROOT_CELL
+from repro.spatial.geometry import Rect
+
+__all__ = ["StandingQuery", "QueryRegistry", "DEFAULT_GRID_LEVEL"]
+
+DEFAULT_GRID_LEVEL = 4
+"""Registry grid depth: 4^4 = 256 cells over the data space, fine enough
+that distant buckets prune spatially, coarse enough that co-located
+queries share buckets."""
+
+_NEG_INF = float("-inf")
+
+
+class StandingQuery:
+    """One registered continuous top-k query and its live result state.
+
+    The collector *is* the incrementally maintained answer: at every
+    quiescent moment it holds exactly what a from-scratch
+    :meth:`repro.core.index.I3Index.query` would return.
+
+    Attributes:
+        query_id: Registry-unique identifier.
+        query: The standing :class:`~repro.model.query.TopKQuery`.
+        ranker: The scoring function (per-query alpha).
+        subscriber_id: Owner subscription (delivery routing).
+        collector: Current top-k state.
+    """
+
+    __slots__ = ("query_id", "query", "ranker", "subscriber_id", "collector")
+
+    def __init__(
+        self,
+        query_id: int,
+        query: TopKQuery,
+        ranker: Ranker,
+        subscriber_id: str,
+    ) -> None:
+        self.query_id = query_id
+        self.query = query
+        self.ranker = ranker
+        self.subscriber_id = subscriber_id
+        self.collector = TopKCollector(query.k)
+
+    @property
+    def bound(self) -> float:
+        """The entry threshold: current k-th score (-inf below k)."""
+        return self.collector.delta
+
+    def holds(self, doc_id: int) -> bool:
+        """Whether ``doc_id`` is currently in this query's top-k."""
+        return doc_id in self.collector
+
+    def score(self, doc: SpatialDocument) -> Optional[float]:
+        """Exact score of ``doc`` for this query (None: not a candidate)."""
+        return self.ranker.score_document(self.query, doc)
+
+    def seed(self, results: List[ScoredDoc]) -> None:
+        """Replace the collector state with ``results`` wholesale."""
+        self.collector = TopKCollector(self.query.k)
+        for hit in results:
+            self.collector.offer(hit.doc_id, hit.score)
+
+    def results(self) -> List[ScoredDoc]:
+        """The current top-k, best first."""
+        return self.collector.results()
+
+
+class _Bucket:
+    """All standing queries sharing one (keyword, grid cell) pair."""
+
+    __slots__ = ("rect", "queries", "min_bound", "lo_alpha", "hi_alpha", "words")
+
+    def __init__(self, rect: Rect) -> None:
+        self.rect = rect
+        self.queries: Dict[int, StandingQuery] = {}
+        # min over members' entry thresholds; +inf while empty so the
+        # first add records the member's bound exactly.
+        self.min_bound = float("inf")
+        self.lo_alpha = 1.0
+        self.hi_alpha = 0.0
+        # Union of member query keywords with reference counts: the
+        # textual upper bound for an arriving document sums the doc's
+        # weights over this set (a superset of any member's match).
+        self.words: Dict[str, int] = {}
+
+    def add(self, sq: StandingQuery) -> None:
+        self.queries[sq.query_id] = sq
+        self.min_bound = min(self.min_bound, sq.bound)
+        alpha = sq.ranker.alpha
+        self.lo_alpha = min(self.lo_alpha, alpha)
+        self.hi_alpha = max(self.hi_alpha, alpha)
+        for word in sq.query.words:
+            self.words[word] = self.words.get(word, 0) + 1
+
+    def remove(self, sq: StandingQuery) -> None:
+        self.queries.pop(sq.query_id, None)
+        for word in sq.query.words:
+            count = self.words.get(word, 0) - 1
+            if count <= 0:
+                self.words.pop(word, None)
+            else:
+                self.words[word] = count
+        # min_bound/alphas stay (stale-low / stale-wide = safe); they
+        # re-tighten on the next scan.
+
+    def tighten(self) -> None:
+        """Recompute exact bounds from the members (done on scans)."""
+        if not self.queries:
+            return
+        self.min_bound = min(sq.bound for sq in self.queries.values())
+        alphas = [sq.ranker.alpha for sq in self.queries.values()]
+        self.lo_alpha = min(alphas)
+        self.hi_alpha = max(alphas)
+
+
+class QueryRegistry:
+    """The standing-query index: keyword x spatial-grid buckets."""
+
+    def __init__(self, space: Rect, grid_level: int = DEFAULT_GRID_LEVEL) -> None:
+        if grid_level < 0:
+            raise ValueError(f"grid_level must be >= 0, got {grid_level}")
+        self.space = space
+        self.grid = CellGrid(space)
+        self.grid_level = grid_level
+        self._queries: Dict[int, StandingQuery] = {}
+        self._cells: Dict[int, int] = {}
+        # word -> {grid cell -> bucket}
+        self._word_buckets: Dict[str, Dict[int, _Bucket]] = {}
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._queries
+
+    def get(self, query_id: int) -> Optional[StandingQuery]:
+        return self._queries.get(query_id)
+
+    def queries(self) -> List[StandingQuery]:
+        """Every registered standing query (registration order)."""
+        return list(self._queries.values())
+
+    def num_buckets(self) -> int:
+        return sum(len(cells) for cells in self._word_buckets.values())
+
+    def _cell_of(self, query: TopKQuery) -> int:
+        if not self.space.contains_point(query.x, query.y):
+            # Queries may aim outside the data space; park them at the
+            # root cell (its rect never prunes spatially, always safe).
+            return ROOT_CELL
+        return self.grid.cell_at(query.x, query.y, self.grid_level)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add(self, sq: StandingQuery) -> None:
+        """Index one standing query under every (keyword, cell) bucket."""
+        if sq.query_id in self._queries:
+            raise ValueError(f"query id {sq.query_id} already registered")
+        cell = self._cell_of(sq.query)
+        self._queries[sq.query_id] = sq
+        self._cells[sq.query_id] = cell
+        for word in sq.query.words:
+            cells = self._word_buckets.setdefault(word, {})
+            bucket = cells.get(cell)
+            if bucket is None:
+                bucket = cells[cell] = _Bucket(self.grid.rect(cell))
+            bucket.add(sq)
+
+    def remove(self, query_id: int) -> Optional[StandingQuery]:
+        """Unregister; returns the removed query (None if absent)."""
+        sq = self._queries.pop(query_id, None)
+        if sq is None:
+            return None
+        cell = self._cells.pop(query_id)
+        for word in sq.query.words:
+            cells = self._word_buckets.get(word)
+            if cells is None:
+                continue
+            bucket = cells.get(cell)
+            if bucket is None:
+                continue
+            bucket.remove(sq)
+            if not bucket.queries:
+                del cells[cell]
+                if not cells:
+                    del self._word_buckets[word]
+        return sq
+
+    def bound_dropped(self, sq: StandingQuery) -> None:
+        """A member's entry threshold may have fallen (delete re-query):
+        lower its buckets' ``min_bound`` so pruning stays admissible."""
+        cell = self._cells.get(sq.query_id)
+        if cell is None:
+            return
+        bound = sq.bound
+        for word in sq.query.words:
+            bucket = self._word_buckets.get(word, {}).get(cell)
+            if bucket is not None and bound < bucket.min_bound:
+                bucket.min_bound = bound
+
+    # ------------------------------------------------------------------
+    # Candidate lookup
+    # ------------------------------------------------------------------
+    def candidates_insert(
+        self, doc: SpatialDocument
+    ) -> Tuple[List[StandingQuery], int]:
+        """Standing queries an insertion of ``doc`` could change.
+
+        Returns ``(candidates, buckets_skipped)``.  A bucket is skipped
+        when the highest score ``doc`` could achieve for *any* member —
+        spatial proximity upper-bounded by the bucket cell's MINDIST,
+        textual relevance by the document's weight over the bucket's
+        keyword union, combined at the extremes of the members' alpha
+        range — is strictly below ``min_bound``, i.e. below every
+        member's entry threshold.  Strictness preserves tie-breaking:
+        a score exactly equal to a threshold can still enter on doc id.
+        """
+        matched: Dict[int, StandingQuery] = {}
+        skipped = 0
+        diagonal = self.space.diagonal
+        for word in doc.terms:
+            cells = self._word_buckets.get(word)
+            if not cells:
+                continue
+            for bucket in cells.values():
+                if bucket.min_bound > _NEG_INF:
+                    phi_s = max(
+                        0.0, 1.0 - bucket.rect.min_dist(doc.x, doc.y) / diagonal
+                    )
+                    phi_t = sum(
+                        weight
+                        for term, weight in doc.terms.items()
+                        if term in bucket.words
+                    )
+                    lo, hi = bucket.lo_alpha, bucket.hi_alpha
+                    # Linear in alpha: the max over [lo, hi] sits at an end.
+                    upper = max(
+                        lo * phi_s + (1.0 - lo) * phi_t,
+                        hi * phi_s + (1.0 - hi) * phi_t,
+                    )
+                    if upper < bucket.min_bound:
+                        skipped += 1
+                        continue
+                for sq in bucket.queries.values():
+                    matched[sq.query_id] = sq
+                bucket.tighten()
+        return list(matched.values()), skipped
+
+    def candidates_delete(self, doc: SpatialDocument) -> List[StandingQuery]:
+        """Standing queries that share any keyword with ``doc``.
+
+        No bound pruning: a deletion matters exactly when the document
+        currently sits in a query's top-k, which the matcher checks with
+        one set lookup per candidate — already cheap.
+        """
+        matched: Dict[int, StandingQuery] = {}
+        for word in doc.terms:
+            cells = self._word_buckets.get(word)
+            if not cells:
+                continue
+            for bucket in cells.values():
+                for sq in bucket.queries.values():
+                    matched[sq.query_id] = sq
+        return list(matched.values())

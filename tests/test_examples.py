@@ -14,8 +14,6 @@ EXAMPLES = sorted(
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
 def test_example_runs(script):
-    if script.stem == "tweet_stream":
-        pytest.skip("long-running stream demo; exercised manually")
     result = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,

@@ -1,0 +1,79 @@
+"""The Prometheus text exposition of the metrics registry.
+
+Rendered output is consumed by scrapers that are strict about format
+(TYPE lines, label quoting, trailing newline), so the core test is a
+golden one: a seeded registry must render byte-identically.
+"""
+
+from repro.cli import main
+from repro.service.metrics import MetricsRegistry
+
+GOLDEN = """\
+# TYPE repro_cache_hits counter
+repro_cache_hits 3
+# TYPE repro_queries_completed counter
+repro_queries_completed 7
+# TYPE repro_queue_depth gauge
+repro_queue_depth 2.5
+# TYPE repro_latency_ms summary
+repro_latency_ms{quantile="0.5"} 3
+repro_latency_ms{quantile="0.95"} 5
+repro_latency_ms{quantile="0.99"} 5
+repro_latency_ms_sum 15
+repro_latency_ms_count 5
+"""
+
+
+def seeded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(seed=0)
+    registry.counter("queries.completed").inc(7)
+    registry.counter("cache.hits").inc(3)
+    registry.gauge("queue.depth").set(2.5)
+    latency = registry.histogram("latency_ms")
+    for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+        latency.observe(value)
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_golden_exposition(self):
+        assert seeded_registry().render_prometheus() == GOLDEN
+
+    def test_empty_registry_renders_empty_page(self):
+        assert MetricsRegistry().render_prometheus() == "\n"
+
+    def test_prefix_and_name_sanitisation(self):
+        registry = MetricsRegistry()
+        registry.counter("shard.0.attempt-failures").inc()
+        text = registry.render_prometheus(prefix="svc")
+        assert "svc_shard_0_attempt_failures 1" in text
+        assert "# TYPE svc_shard_0_attempt_failures counter" in text
+
+    def test_stable_across_renders(self):
+        registry = seeded_registry()
+        assert registry.render_prometheus() == registry.render_prometheus()
+
+    def test_summary_sum_count_relation(self):
+        registry = MetricsRegistry(seed=1)
+        h = registry.histogram("queue_wait_ms")
+        observations = [0.5, 1.5, 2.25]
+        for value in observations:
+            h.observe(value)
+        text = registry.render_prometheus()
+        assert f"repro_queue_wait_ms_sum {sum(observations)!r}" in text
+        assert "repro_queue_wait_ms_count 3" in text
+
+
+class TestServeBenchMetricsOut:
+    def test_writes_exposition_file(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        assert main([
+            "serve-bench", "--docs", "150", "--queries", "20",
+            "--workers", "2", "--seed", "3", "--json",
+            "--metrics-out", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert text.endswith("\n")
+        assert "# TYPE repro_queries_completed counter" in text
+        assert "repro_queries_completed 20" in text
+        assert 'repro_latency_ms{quantile="0.99"}' in text

@@ -267,6 +267,46 @@ class TestI3OracleEquivalence:
         want = [(r.doc_id, round(r.score, 9)) for r in naive.query(query, ranker)]
         assert got == want
 
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        corpora(max_docs=20),
+        st.dictionaries(small_words, weights, min_size=1, max_size=5),
+        coords,
+        coords,
+        st.lists(small_words, min_size=1, max_size=3, unique=True),
+        st.sampled_from([Semantics.AND, Semantics.OR]),
+        st.integers(1, 8),
+        coords,
+        coords,
+    )
+    def test_update_equals_delete_then_insert(
+        self, docs, new_terms, nx, ny, words, semantics, k, qx, qy
+    ):
+        # Section 4.5 defines update as delete + insert; the streaming
+        # matcher leans on that (an update's WAL record replays as its
+        # delete and insert halves), so the two paths must agree on
+        # every observable: query results AND the mutation-epoch count.
+        if not docs:
+            return
+        via_update = I3Index(UNIT_SQUARE, page_size=64)
+        via_halves = I3Index(UNIT_SQUARE, page_size=64)
+        for doc in docs:
+            via_update.insert_document(doc)
+            via_halves.insert_document(doc)
+        old = docs[0]
+        new = SpatialDocument(old.doc_id, nx, ny, new_terms)
+        via_update.update_document(old, new)
+        via_halves.delete_document(old)
+        via_halves.insert_document(new)
+        assert via_update.epoch == via_halves.epoch
+        assert via_update.num_documents == via_halves.num_documents
+        assert via_update.num_tuples == via_halves.num_tuples
+        ranker = Ranker(UNIT_SQUARE, alpha=0.5)
+        query = TopKQuery(qx, qy, tuple(words), k=k, semantics=semantics)
+        got = [(r.doc_id, r.score) for r in via_update.query(query, ranker)]
+        want = [(r.doc_id, r.score) for r in via_halves.query(query, ranker)]
+        assert got == want
+
     @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(corpora(max_docs=25), st.randoms())
     def test_i3_invariants_after_random_churn(self, docs, pyrandom):

@@ -1,0 +1,429 @@
+"""Unit tests for the continuous-query subsystem: registry pruning,
+delivery policies, incremental matching, service wiring, WAL-tail
+resume and the cluster stream router.
+
+The end-to-end exactness guarantee (incremental top-k == from-scratch
+query over a long mixed stream) lives in test_streaming_invariant.py;
+these tests pin the individual mechanisms.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterService, HashPartitioner
+from repro.core.index import I3Index, MutationEvent
+from repro.core.recovery import DurableIndex
+from repro.model.document import SpatialDocument
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.service.service import QueryService, ServiceConfig
+from repro.spatial.geometry import UNIT_SQUARE
+from repro.streaming import (
+    IncrementalMatcher,
+    QueryRegistry,
+    ResultUpdate,
+    StandingQuery,
+    StreamCheckpoint,
+    StreamConfig,
+    StreamingService,
+    StreamSubscription,
+    read_wal_tail,
+)
+
+
+def doc(doc_id, x, y, terms):
+    return SpatialDocument(doc_id, x, y, terms)
+
+
+def standing(qid, x, y, words, k=3, alpha=0.5, semantics=Semantics.OR, sub="s"):
+    return StandingQuery(
+        qid,
+        TopKQuery(x, y, tuple(words), k=k, semantics=semantics),
+        Ranker(UNIT_SQUARE, alpha),
+        sub,
+    )
+
+
+class TestMutationListener:
+    def test_document_ops_emit_one_event_each(self):
+        index = I3Index(UNIT_SQUARE)
+        events = []
+        index.add_mutation_listener(events.append)
+        d = doc(1, 0.2, 0.2, {"a": 0.5, "b": 0.5})
+        index.insert_document(d)
+        index.delete_document(d)
+        assert [e.kind for e in events] == ["insert", "delete"]
+        # One event per document op, not per tuple, and epoch-stamped
+        # after the op applied.
+        assert events[0].epoch == 2 and events[1].epoch == 4
+        assert events[0].doc == d
+
+    def test_raw_tuple_ops_emit_tuple_events(self):
+        index = I3Index(UNIT_SQUARE)
+        events = []
+        index.add_mutation_listener(events.append)
+        from repro.model.document import SpatialTuple
+
+        index.insert_tuple(SpatialTuple(1, "a", 0.1, 0.1, 0.7))
+        index.delete_tuple("a", 1, 0.1, 0.1)
+        index.delete_tuple("a", 99, 0.1, 0.1)  # miss: no event
+        assert [e.kind for e in events] == ["tuple_insert", "tuple_delete"]
+
+    def test_remove_listener(self):
+        index = I3Index(UNIT_SQUARE)
+        events = []
+        index.add_mutation_listener(events.append)
+        index.remove_mutation_listener(events.append)
+        index.remove_mutation_listener(events.append)  # idempotent
+        index.insert_document(doc(1, 0.5, 0.5, {"a": 0.5}))
+        assert events == []
+
+    def test_bulk_load_emits_single_event(self):
+        index = I3Index(UNIT_SQUARE)
+        events = []
+        index.add_mutation_listener(events.append)
+        index.bulk_load([doc(i, 0.1 * i, 0.1, {"a": 0.5}) for i in range(1, 5)])
+        assert [e.kind for e in events] == ["bulk_load"]
+
+
+class TestQueryRegistry:
+    def test_candidates_by_keyword(self):
+        registry = QueryRegistry(UNIT_SQUARE)
+        sq_a = standing(1, 0.5, 0.5, ["a"])
+        sq_b = standing(2, 0.5, 0.5, ["b"])
+        registry.add(sq_a)
+        registry.add(sq_b)
+        candidates, _ = registry.candidates_insert(doc(9, 0.5, 0.5, {"a": 0.9}))
+        assert [sq.query_id for sq in candidates] == [1]
+        assert registry.candidates_delete(doc(9, 0.5, 0.5, {"b": 0.9})) == [sq_b]
+
+    def test_duplicate_id_rejected(self):
+        registry = QueryRegistry(UNIT_SQUARE)
+        registry.add(standing(1, 0.5, 0.5, ["a"]))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add(standing(1, 0.5, 0.5, ["b"]))
+
+    def test_remove_drops_empty_buckets(self):
+        registry = QueryRegistry(UNIT_SQUARE)
+        registry.add(standing(1, 0.5, 0.5, ["a", "b"]))
+        assert registry.num_buckets() == 2
+        assert registry.remove(1).query_id == 1
+        assert registry.num_buckets() == 0
+        assert registry.remove(1) is None
+        assert len(registry) == 0
+
+    def test_bucket_pruning_skips_hopeless_inserts(self):
+        # Standing query in one corner with a full top-1 of score ~1.0;
+        # a far-away weak document can't beat it, so its keyword bucket
+        # must be skipped without touching the query.
+        registry = QueryRegistry(UNIT_SQUARE, grid_level=3)
+        sq = standing(1, 0.05, 0.05, ["a"], k=1, alpha=0.5)
+        sq.seed([type("S", (), {"doc_id": 5, "score": 0.93})()])
+        registry.add(sq)
+        far_weak = doc(7, 0.95, 0.95, {"a": 0.01})
+        candidates, skipped = registry.candidates_insert(far_weak)
+        assert candidates == [] and skipped == 1
+        # A strong nearby document still reaches the query.
+        near_strong = doc(8, 0.06, 0.06, {"a": 1.0})
+        candidates, _ = registry.candidates_insert(near_strong)
+        assert candidates == [sq]
+
+    def test_below_k_queries_are_never_pruned(self):
+        registry = QueryRegistry(UNIT_SQUARE)
+        registry.add(standing(1, 0.05, 0.05, ["a"], k=5))  # empty collector
+        candidates, skipped = registry.candidates_insert(
+            doc(7, 0.95, 0.95, {"a": 0.001})
+        )
+        assert len(candidates) == 1 and skipped == 0
+
+    def test_query_outside_space_parks_at_root(self):
+        registry = QueryRegistry(UNIT_SQUARE)
+        sq = StandingQuery(
+            1,
+            TopKQuery(4.0, -3.0, ("a",), k=2, semantics=Semantics.OR),
+            Ranker(UNIT_SQUARE, 0.5),
+            "s",
+        )
+        registry.add(sq)
+        candidates, _ = registry.candidates_insert(doc(2, 0.5, 0.5, {"a": 0.5}))
+        assert candidates == [sq]
+
+
+class TestStreamSubscription:
+    def update(self, qid, seq=0, results=()):
+        return ResultUpdate(qid, "update", epoch=1, lsn=None, seq=seq,
+                            results=tuple(results))
+
+    def test_coalesce_keeps_latest_per_query(self):
+        sub = StreamSubscription("s", capacity=8, policy="coalesce")
+        assert sub.offer(self.update(1)) == "queued"
+        assert sub.offer(self.update(2)) == "queued"
+        assert sub.offer(self.update(1)) == "coalesced"
+        polled = sub.poll()
+        assert [u.query_id for u in polled] == [2, 1]  # 1 moved to back
+        assert polled[1].seq == 3  # the replacement, not the original
+
+    def test_coalesce_overflow_drops_oldest_distinct(self):
+        sub = StreamSubscription("s", capacity=2, policy="coalesce")
+        sub.offer(self.update(1))
+        sub.offer(self.update(2))
+        assert sub.offer(self.update(3)) == "dropped"
+        assert [u.query_id for u in sub.poll()] == [2, 3]
+        assert sub.dropped == 1
+
+    def test_drop_oldest_is_fifo(self):
+        sub = StreamSubscription("s", capacity=2, policy="drop_oldest")
+        sub.offer(self.update(1))
+        sub.offer(self.update(1))
+        assert sub.offer(self.update(1)) == "dropped"  # no coalescing
+        assert [u.seq for u in sub.poll()] == [2, 3]
+
+    def test_poll_max_items_and_ack(self):
+        sub = StreamSubscription("s", capacity=8)
+        for qid in (1, 2, 3):
+            sub.offer(self.update(qid))
+        assert len(sub.poll(max_items=2)) == 2
+        assert sub.depth == 1
+        sub.ack(17)
+        sub.ack(5)   # acks never regress
+        sub.ack(None)
+        assert sub.last_acked_lsn == 17
+
+    def test_closed_subscription_drops_offers(self):
+        sub = StreamSubscription("s")
+        sub.close()
+        assert sub.offer(self.update(1)) == "dropped"
+        assert sub.poll() == []
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError, match="capacity"):
+            StreamSubscription("s", capacity=0)
+        with pytest.raises(ValueError, match="policy"):
+            StreamSubscription("s", policy="mystery")
+
+
+class TestStreamingService:
+    def build(self, n=120, seed=0):
+        rng = random.Random(seed)
+        index = I3Index(UNIT_SQUARE)
+        docs = [
+            doc(i, rng.random(), rng.random(),
+                {w: round(rng.uniform(0.1, 1.0), 2)
+                 for w in rng.sample(["a", "b", "c", "d"], 2)})
+            for i in range(1, n + 1)
+        ]
+        for d in docs[: n // 2]:
+            index.insert_document(d)
+        return index, docs
+
+    def test_register_delivers_snapshot_then_updates(self):
+        index, docs = self.build()
+        streams = StreamingService(index)
+        sub = streams.subscribe()
+        qid = streams.register(
+            sub, TopKQuery(0.5, 0.5, ("a", "b"), k=5, semantics=Semantics.OR)
+        )
+        snapshot = sub.poll()
+        assert len(snapshot) == 1 and snapshot[0].kind == "snapshot"
+        assert snapshot[0].query_id == qid
+        for d in docs[60:]:
+            index.insert_document(d)
+        for update in sub.poll():
+            assert update.kind == "update"
+        ranker = streams.registry.get(qid).ranker
+        assert streams.results(qid) == index.query(
+            streams.registry.get(qid).query, ranker
+        )
+
+    def test_unregister_and_unsubscribe(self):
+        index, _ = self.build()
+        streams = StreamingService(index)
+        sub = streams.subscribe("client")
+        q = TopKQuery(0.5, 0.5, ("a",), k=3, semantics=Semantics.OR)
+        qid = streams.register(sub, q)
+        assert streams.unregister(qid) and not streams.unregister(qid)
+        qid2 = streams.register(sub, q)
+        streams.unsubscribe(sub)
+        assert sub.closed
+        assert streams.results(qid2) is None
+        assert len(streams.registry) == 0
+
+    def test_close_detaches_listener(self):
+        index, docs = self.build()
+        streams = StreamingService(index)
+        sub = streams.subscribe()
+        streams.register(
+            sub, TopKQuery(0.5, 0.5, ("a",), k=3, semantics=Semantics.OR)
+        )
+        streams.close()
+        index.insert_document(docs[-1])
+        assert streams.metrics.as_dict()["counters"].get("stream.events", 0) == 0
+        with pytest.raises(ValueError, match="closed"):
+            streams.subscribe()
+
+    def test_per_query_alpha_and_semantics(self):
+        index, docs = self.build(seed=3)
+        for d in docs[60:]:
+            index.insert_document(d)
+        streams = StreamingService(index)
+        sub = streams.subscribe()
+        q_and = TopKQuery(0.4, 0.4, ("a", "b"), k=4, semantics=Semantics.AND)
+        q_or = TopKQuery(0.4, 0.4, ("a", "b"), k=4, semantics=Semantics.OR)
+        qid_and = streams.register(sub, q_and, alpha=0.9)
+        qid_or = streams.register(sub, q_or, alpha=0.1)
+        assert streams.results(qid_and) == index.query(q_and, Ranker(UNIT_SQUARE, 0.9))
+        assert streams.results(qid_or) == index.query(q_or, Ranker(UNIT_SQUARE, 0.1))
+
+    def test_service_target_runs_under_write_lock(self):
+        index, docs = self.build()
+        with QueryService(index, ServiceConfig(workers=2)) as service:
+            streams = service.streams()
+            assert service.streams() is streams  # lazily built once
+            sub = streams.subscribe()
+            q = TopKQuery(0.5, 0.5, ("a", "b"), k=5, semantics=Semantics.OR)
+            qid = streams.register(sub, q)
+            for d in docs[60:]:
+                service.insert(d)
+            assert streams.results(qid) == service.search(q)
+
+    def test_recover_rebinds_streams(self, tmp_path):
+        rng = random.Random(1)
+        docs = [
+            doc(i, rng.random(), rng.random(), {"a": 0.5, "b": round(rng.random(), 2) or 0.1})
+            for i in range(1, 40)
+        ]
+        durable = DurableIndex.create(str(tmp_path / "d"), I3Index(UNIT_SQUARE))
+        with QueryService(durable) as service:
+            streams = service.streams()
+            sub = streams.subscribe()
+            q = TopKQuery(0.5, 0.5, ("a",), k=5, semantics=Semantics.OR)
+            qid = streams.register(sub, q)
+            for d in docs:
+                service.insert(d)
+            before = streams.results(qid)
+            service.recover()  # swaps the served index instance
+            assert streams.index is service.index
+            assert streams.results(qid) == before
+            service.insert(doc(99, 0.5, 0.5, {"a": 1.0}))
+            assert streams.results(qid) == service.index.query(
+                q, Ranker(UNIT_SQUARE, 0.5)
+            )
+            assert any(r.doc_id == 99 for r in streams.results(qid))
+        durable.close()
+
+    def test_stream_config_validation(self):
+        with pytest.raises(ValueError, match="queue_capacity"):
+            StreamConfig(queue_capacity=0)
+        with pytest.raises(ValueError, match="grid_level"):
+            StreamConfig(grid_level=-1)
+
+
+class TestWalTailResume:
+    def build_durable(self, tmp_path, n=80, seed=2):
+        rng = random.Random(seed)
+        durable = DurableIndex.create(
+            str(tmp_path / "store"), I3Index(UNIT_SQUARE), sync_every=50
+        )
+        docs = [
+            doc(i, rng.random(), rng.random(),
+                {w: round(rng.uniform(0.1, 1.0), 2)
+                 for w in rng.sample(["a", "b", "c"], 2)})
+            for i in range(1, n + 1)
+        ]
+        return durable, docs
+
+    def test_resume_replays_only_the_tail(self, tmp_path):
+        durable, docs = self.build_durable(tmp_path)
+        streams = StreamingService(durable)
+        sub = streams.subscribe("client")
+        q = TopKQuery(0.5, 0.5, ("a", "b"), k=5, semantics=Semantics.OR)
+        checkpoint = StreamCheckpoint("client")
+        qid = streams.register(sub, q, alpha=0.5)
+        checkpoint.track(qid, q, 0.5)
+        for d in docs[:40]:
+            durable.insert_document(d)
+        checkpoint.record_all(sub.poll())
+        assert checkpoint.acked_lsn > 0
+        streams.unsubscribe(sub)  # subscriber dies
+        for d in docs[40:]:
+            durable.insert_document(d)
+        durable.delete_document(docs[0])
+        sub2 = streams.resume(checkpoint)
+        snapshots = sub2.poll()
+        assert [u.kind for u in snapshots] == ["snapshot"]
+        assert snapshots[0].query_id == qid
+        assert streams.results(qid) == durable.index.query(
+            q, Ranker(UNIT_SQUARE, 0.5)
+        )
+        counters = streams.metrics.as_dict()["counters"]
+        assert counters["stream.resume_replayed"] > 0
+        assert "stream.resume_requeries" not in counters
+        durable.close()
+
+    def test_resume_falls_back_when_log_truncated(self, tmp_path):
+        durable, docs = self.build_durable(tmp_path)
+        streams = StreamingService(durable)
+        sub = streams.subscribe("client")
+        q = TopKQuery(0.5, 0.5, ("a",), k=4, semantics=Semantics.OR)
+        checkpoint = StreamCheckpoint("client")
+        qid = streams.register(sub, q, alpha=0.5)
+        checkpoint.track(qid, q, 0.5)
+        for d in docs[:30]:
+            durable.insert_document(d)
+        checkpoint.record_all(sub.poll())
+        streams.unsubscribe(sub)
+        for d in docs[30:]:
+            durable.insert_document(d)
+        durable.checkpoint()  # resets the log: the tail is gone
+        tail = read_wal_tail(durable, checkpoint.acked_lsn)
+        assert not tail.covered
+        streams.resume(checkpoint)
+        assert streams.results(qid) == durable.index.query(
+            q, Ranker(UNIT_SQUARE, 0.5)
+        )
+        counters = streams.metrics.as_dict()["counters"]
+        assert counters["stream.resume_requeries"] == 1
+        durable.close()
+
+    def test_update_records_replay_as_both_halves(self, tmp_path):
+        durable, docs = self.build_durable(tmp_path)
+        for d in docs[:10]:
+            durable.insert_document(d)
+        moved = doc(3, 0.9, 0.9, {"a": 0.9})
+        durable.update_document(docs[2], moved)
+        tail = read_wal_tail(durable, 10)
+        assert [(m.kind, m.doc.doc_id) for m in tail.mutations] == [
+            ("delete", 3), ("insert", 3)
+        ]
+        assert tail.mutations[1].doc.x == pytest.approx(0.9)
+        durable.close()
+
+
+class TestClusterStreamRouter:
+    def test_merged_results_match_scatter_gather(self):
+        rng = random.Random(5)
+        docs = [
+            doc(i, rng.random(), rng.random(),
+                {w: round(rng.uniform(0.1, 1.0), 2)
+                 for w in rng.sample(["a", "b", "c", "d"], 2)})
+            for i in range(1, 161)
+        ]
+        partitioner = HashPartitioner(3, UNIT_SQUARE)
+        with ClusterService.build(
+            docs[:80], partitioner,
+            ClusterConfig(replicas=1, scatter_width=1),
+        ) as cluster:
+            router = cluster.stream_router()
+            assert cluster.stream_router() is router
+            q = TopKQuery(0.5, 0.5, ("a", "b"), k=6, semantics=Semantics.OR)
+            cqid = router.register(q)
+            assert router.results(cqid) == cluster.search(q).results
+            for d in docs[80:]:
+                cluster.insert_document(d)
+            cluster.delete_document(docs[80])
+            updates = router.poll()
+            assert updates and updates[-1].query_id == cqid
+            assert router.results(cqid) == cluster.search(q).results
+            assert router.unregister(cqid) and not router.unregister(cqid)
+            assert router.results(cqid) is None

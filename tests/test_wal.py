@@ -117,6 +117,65 @@ class TestGroupCommit:
         assert wal.synced_lsn == 2
         wal.close()
 
+    def test_sync_at_exact_boundary_repeats(self, tmp_path):
+        # The batch trips at exactly sync_every, every time — no drift
+        # from the counter reset.
+        wal = WriteAheadLog.create(str(tmp_path / "wal.log"), sync_every=3)
+        for expected_sync in (3, 6):
+            for lsn in range(expected_sync - 2, expected_sync):
+                wal.append(WAL_INSERT, b"x")
+                assert wal.unsynced_records == lsn - (expected_sync - 3)
+            assert wal.synced_lsn == expected_sync - 3
+            wal.append(WAL_INSERT, b"x")
+            assert wal.unsynced_records == 0
+            assert wal.synced_lsn == expected_sync == wal.last_lsn
+        wal.close()
+
+    def test_explicit_sync_with_zero_pending_is_noop(self, tmp_path):
+        wal = WriteAheadLog.create(str(tmp_path / "wal.log"), sync_every=None)
+        wal.append(WAL_INSERT, b"1")
+        wal.sync()
+        before = wal.synced_lsn
+        wal.sync()  # nothing pending: must not move acknowledgements
+        wal.sync()
+        assert wal.synced_lsn == before == 1
+        assert wal.unsynced_records == 0
+        wal.close()
+
+    def test_window_expiry_with_zero_pending_starts_fresh(self, tmp_path):
+        import time
+
+        wal = WriteAheadLog.create(
+            str(tmp_path / "wal.log"), sync_every=None, sync_window=0.005
+        )
+        wal.append(WAL_INSERT, b"1")
+        time.sleep(0.01)
+        wal.append(WAL_INSERT, b"2")  # window expired: both acknowledged
+        assert wal.synced_lsn == 2
+        assert wal.unsynced_records == 0
+        # The window clock must restart at the NEXT first unsynced
+        # append, not keep running from the flushed batch: after idling
+        # past the window with zero pending, a fresh append stays
+        # unsynced (its own window has only just started).
+        time.sleep(0.01)
+        wal.append(WAL_INSERT, b"3")
+        assert wal.unsynced_records == 1
+        assert wal.synced_lsn == 2
+        wal.close()
+
+    def test_scan_live_sees_unsynced_records(self, tmp_path):
+        # The streaming tail reader must see batched-but-unfsynced
+        # appends without disturbing group-commit accounting.
+        wal = WriteAheadLog.create(str(tmp_path / "wal.log"), sync_every=None)
+        wal.append(WAL_INSERT, b"a")
+        wal.append(WAL_DELETE, b"b")
+        scan = wal.scan_live()
+        mutations = [r.lsn for _, r in scan.records if r.type != WAL_CHECKPOINT]
+        assert mutations == [1, 2]
+        assert wal.synced_lsn == 0
+        assert wal.unsynced_records == 2
+        wal.close()
+
     def test_bad_policy_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="sync_every"):
             WriteAheadLog.create(str(tmp_path / "a.log"), sync_every=0)
