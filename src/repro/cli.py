@@ -492,6 +492,144 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simtest(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.simtest import (
+        generate_trace,
+        load_trace,
+        run_seed,
+        run_trace,
+        save_trace,
+        shrink_failure,
+    )
+
+    def emit(payload: dict, text: str) -> None:
+        print(json.dumps(payload) if args.json else text)
+
+    def save_failure(trace: dict, invariant: str, label: str) -> str:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        path = os.path.join(args.trace_dir, f"{label}-{invariant}.json")
+        save_trace(trace, path)
+        return path
+
+    # --replay: re-execute a saved trace exactly.
+    if args.replay:
+        trace = load_trace(args.replay)
+        report = run_trace(trace, inject_bug=args.inject_bug)
+        if report.ok:
+            emit(
+                {"replay": args.replay, "ok": True, "hash": report.run_hash},
+                f"replay {args.replay}: ok ({report.steps_run} steps, "
+                f"hash {report.run_hash[:12]})",
+            )
+            return 0
+        emit(
+            {
+                "replay": args.replay,
+                "ok": False,
+                "invariant": report.failure.invariant,
+                "step": report.failure.step_index,
+                "detail": report.failure.detail,
+            },
+            f"replay {args.replay}: FAILED [{report.failure.invariant}] at "
+            f"step {report.failure.step_index}\n{report.failure.detail}",
+        )
+        return 1
+
+    # --inject-bug: canary mode — prove the harness catches a known-bad
+    # code path, then prove the shrunk trace still reproduces it.
+    if args.inject_bug:
+        start = args.seed if args.seed is not None else 0
+        caught = None
+        for seed in range(start, start + args.seeds):
+            report = run_seed(seed, steps=args.steps, inject_bug=args.inject_bug)
+            if not report.ok:
+                caught = report
+                break
+        if caught is None:
+            emit(
+                {"bug": args.inject_bug, "caught": False, "seeds": args.seeds},
+                f"canary FAILED: {args.inject_bug} not caught in "
+                f"{args.seeds} seeds",
+            )
+            return 1
+        invariant = caught.failure.invariant
+        shrunk = shrink_failure(
+            caught.trace, invariant, inject_bug=args.inject_bug
+        )
+        replayed = run_trace(shrunk, inject_bug=args.inject_bug)
+        same = (
+            replayed.failure is not None
+            and replayed.failure.invariant == invariant
+        )
+        path = save_failure(shrunk, invariant, f"bug-{args.inject_bug}")
+        emit(
+            {
+                "bug": args.inject_bug,
+                "caught": True,
+                "seed": caught.seed,
+                "invariant": invariant,
+                "shrunk_steps": len(shrunk["steps"]),
+                "original_steps": shrunk["shrunk_from"],
+                "replay_same_failure": same,
+                "trace": path,
+            },
+            f"canary ok: {args.inject_bug} caught at seed {caught.seed} "
+            f"[{invariant}], shrunk {shrunk['shrunk_from']} -> "
+            f"{len(shrunk['steps'])} steps, replay "
+            f"{'reproduces' if same else 'DIVERGED'} ({path})",
+        )
+        return 0 if same else 1
+
+    # Fuzz a seed range.  --seed shifts the start (disjoint nightly
+    # sweeps); --seed N --seeds 1 runs exactly one seed.
+    start = args.seed if args.seed is not None else 0
+    seeds = list(range(start, start + args.seeds))
+    modes = {"single": 0, "cluster": 0}
+    for seed in seeds:
+        report = run_seed(seed, steps=args.steps, mode=args.mode)
+        if args.check_determinism and report.ok:
+            again = run_trace(generate_trace(seed, steps=args.steps, mode=args.mode))
+            if again.run_hash != report.run_hash:
+                emit(
+                    {"seed": seed, "ok": False, "nondeterministic": True,
+                     "hashes": [report.run_hash, again.run_hash]},
+                    f"seed {seed}: NONDETERMINISTIC "
+                    f"({report.run_hash[:12]} != {again.run_hash[:12]})",
+                )
+                return 1
+        if not report.ok:
+            invariant = report.failure.invariant
+            shrunk = shrink_failure(report.trace, invariant)
+            path = save_failure(shrunk, invariant, f"seed{seed}")
+            emit(
+                {
+                    "seed": seed,
+                    "ok": False,
+                    "invariant": invariant,
+                    "step": report.failure.step_index,
+                    "detail": report.failure.detail,
+                    "shrunk_steps": len(shrunk["steps"]),
+                    "trace": path,
+                },
+                f"seed {seed} ({report.mode}): FAILED [{invariant}] at step "
+                f"{report.failure.step_index}\n{report.failure.detail}\n"
+                f"shrunk repro ({len(shrunk['steps'])} steps) saved; "
+                f"replay with: repro simtest --replay {path}",
+            )
+            return 1
+        modes[report.mode] += 1
+    emit(
+        {"ok": True, "seeds": len(seeds), **modes},
+        f"{len(seeds)} seeds ok ({modes['single']} single, "
+        f"{modes['cluster']} cluster"
+        + (", determinism checked" if args.check_determinism else "")
+        + ")",
+    )
+    return 0
+
+
 def _parse_point(text: str):
     try:
         x_str, y_str = text.split(",")
@@ -688,6 +826,46 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--seed", type=int, default=0)
     shard.add_argument("--json", action="store_true", help="JSON metrics output")
     shard.set_defaults(func=_cmd_shard_bench)
+
+    simtest = sub.add_parser(
+        "simtest",
+        help="seeded whole-system simulation: fuzz, replay, or run canaries",
+    )
+    simtest.add_argument(
+        "--seeds", type=int, default=20,
+        help="number of seeds to fuzz (with --inject-bug: seeds scanned)",
+    )
+    simtest.add_argument(
+        "--seed", type=int,
+        help="first seed of the range (with --seeds 1: exactly this seed)",
+    )
+    simtest.add_argument(
+        "--steps", type=int, help="override the per-trace step count"
+    )
+    simtest.add_argument(
+        "--mode", choices=["single", "cluster"],
+        help="force the workload mode (default: seed-chosen, ~25%% cluster)",
+    )
+    simtest.add_argument(
+        "--replay", metavar="TRACE",
+        help="re-execute a saved failure trace instead of fuzzing",
+    )
+    simtest.add_argument(
+        "--inject-bug",
+        choices=["lost-wal-record", "stale-cache", "dropped-push"],
+        help="canary mode: flip a known-bad code path and assert the "
+        "harness catches it (and that the shrunk trace still fails)",
+    )
+    simtest.add_argument(
+        "--check-determinism", action="store_true",
+        help="run every passing seed twice and compare run hashes",
+    )
+    simtest.add_argument(
+        "--trace-dir", default="simtraces",
+        help="directory for shrunk failure traces (default: simtraces/)",
+    )
+    simtest.add_argument("--json", action="store_true", help="JSON output")
+    simtest.set_defaults(func=_cmd_simtest)
 
     return parser
 

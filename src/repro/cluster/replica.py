@@ -95,6 +95,12 @@ class ShardReplica:
             raise ReplicaFault(self.shard_id, self.replica_id, "service closed")
         try:
             future = self.service.submit(query)
+            if self.service.sim_executor is not None:
+                # Simulation mode: the service has no worker threads, so
+                # blocking on the future would hang — drive the seeded
+                # scheduler until the query resolves instead.
+                self.service.sim_executor.run_until(future.done)
+                timeout = 0
             return future.result(timeout)
         except FutureTimeout:
             raise ReplicaFault(

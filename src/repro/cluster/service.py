@@ -169,10 +169,22 @@ class ClusterService:
         config: Optional[ClusterConfig] = None,
         ranker: Optional[Ranker] = None,
         manifest: Optional[ShardManifest] = None,
+        clock: Optional[Any] = None,
+        executor: Optional[Any] = None,
     ) -> None:
+        """``clock``/``executor`` are the deterministic-simulation seams
+        (see :mod:`repro.simtest` and the same seams on
+        :class:`~repro.service.QueryService`): with an executor the
+        scatter pool is replaced by sequential in-wave execution and
+        :meth:`recover` rebuilds replica services in sim mode.  Leave
+        both ``None`` in production."""
         if not shards:
             raise ValueError("a cluster needs at least one shard")
         self.config = config if config is not None else ClusterConfig()
+        self._now = clock if clock is not None else time.monotonic
+        self._sleep = clock.sleep if clock is not None else time.sleep
+        self._clock = clock
+        self._executor = executor
         self._shards = shards
         self.partitioner = partitioner
         self.ranker = (
@@ -186,13 +198,17 @@ class ClusterService:
             else None
         )
         self._regions: Dict[int, List[Rect]] = partitioner.shard_regions()
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.config.scatter_width,
-            thread_name_prefix="repro-cluster",
+        self._pool = (
+            None
+            if executor is not None
+            else ThreadPoolExecutor(
+                max_workers=self.config.scatter_width,
+                thread_name_prefix="repro-cluster",
+            )
         )
         self._closed = False
         self._close_lock = threading.Lock()
-        self._started = time.monotonic()
+        self._started = self._now()
         self._stream_router = None  # lazily built by stream_router()
         self.metrics.gauge("cluster.shards").set(len(shards))
         self.metrics.gauge("cluster.replicas").set(self.config.replicas)
@@ -208,6 +224,9 @@ class ClusterService:
         config: Optional[ClusterConfig] = None,
         ranker: Optional[Ranker] = None,
         durable_root: Optional[str] = None,
+        clock: Optional[Any] = None,
+        executor: Optional[Any] = None,
+        fs: Optional[Any] = None,
         **index_kwargs,
     ) -> "ClusterService":
         """Partition ``documents`` and build every shard replica.
@@ -242,6 +261,7 @@ class ClusterService:
                     target: Any = DurableIndex.create(
                         os.path.join(durable_root, f"shard{sid}-r{rid}"),
                         index,
+                        fs=fs,
                     )
                     if shard_docs:
                         target.bulk_load(shard_docs)
@@ -249,7 +269,10 @@ class ClusterService:
                     target = index
                     if shard_docs:
                         index.bulk_load(shard_docs)
-                service = QueryService(target, config.shard_config, ranker=ranker)
+                service = QueryService(
+                    target, config.shard_config, ranker=ranker,
+                    clock=clock, executor=executor,
+                )
                 replicas.append(
                     ShardReplica(
                         sid, rid, service,
@@ -260,7 +283,10 @@ class ClusterService:
         manifest = build_manifest(
             partitioner, config.replicas, [len(d) for d in assignment]
         )
-        return cls(shards, partitioner, config, ranker, manifest)
+        return cls(
+            shards, partitioner, config, ranker, manifest,
+            clock=clock, executor=executor,
+        )
 
     # ------------------------------------------------------------------
     # Topology access
@@ -330,7 +356,8 @@ class ClusterService:
         else:
             report = durable.recover()
             rep.service = QueryService(
-                durable, self.config.shard_config, ranker=self.ranker
+                durable, self.config.shard_config, ranker=self.ranker,
+                clock=self._clock, executor=self._executor,
             )
         rep.revive()
         self.metrics.counter("cluster.recoveries").inc()
@@ -356,10 +383,10 @@ class ClusterService:
             cached = self.cache.get(key, epoch)
             if cached is not None:
                 return replace(cached, from_cache=True)
-        started = time.monotonic()
+        started = self._now()
         answer = self._scatter_gather(query)
         self.metrics.histogram("cluster.latency_ms").observe(
-            (time.monotonic() - started) * 1000.0
+            (self._now() - started) * 1000.0
         )
         if answer.degraded:
             self.metrics.counter("cluster.degraded").inc()
@@ -391,8 +418,10 @@ class ClusterService:
                 i += 1
             if not wave:
                 break
-            if len(wave) == 1:
-                outcomes = [self._query_shard(wave[0], query)]
+            if len(wave) == 1 or self._pool is None:
+                # Single-shard waves and simulation mode both run the
+                # wave sequentially (in sim mode, deterministically).
+                outcomes = [self._query_shard(sid, query) for sid in wave]
             else:
                 outcomes = list(
                     self._pool.map(lambda s: self._query_shard(s, query), wave)
@@ -471,7 +500,7 @@ class ClusterService:
         attempts = 0
         for round_no in range(self.config.retry_rounds + 1):
             if round_no > 0 and self.config.backoff > 0:
-                time.sleep(self.config.backoff * (2 ** (round_no - 1)))
+                self._sleep(self.config.backoff * (2 ** (round_no - 1)))
             ordered = sorted(
                 replicas, key=lambda r: (not r.healthy, r.replica_id)
             )
@@ -560,7 +589,7 @@ class ClusterService:
         pipeline ingests directly.
         """
         snapshot = self.metrics.as_dict()
-        uptime = time.monotonic() - self._started
+        uptime = self._now() - self._started
         snapshot["cluster"] = {
             "num_shards": self.num_shards,
             "replicas": self.config.replicas,
@@ -618,7 +647,8 @@ class ClusterService:
                 rep.service.close()
                 if rep.service.durable is not None:
                     rep.service.durable.close()
-        self._pool.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
 
     @property
     def closed(self) -> bool:

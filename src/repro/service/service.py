@@ -33,8 +33,8 @@ import threading
 import time
 from concurrent.futures import Future, TimeoutError as FutureTimeout
 from dataclasses import dataclass
-from queue import SimpleQueue
-from typing import Any, Dict, List, Optional, Sequence, Union
+from queue import Empty, SimpleQueue
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.index import I3Index
 from repro.core.recovery import DurableIndex, RecoveryReport
@@ -176,8 +176,19 @@ class QueryService:
         config: Optional[ServiceConfig] = None,
         ranker: Optional[Ranker] = None,
         metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+        executor: Optional[Any] = None,
     ) -> None:
+        """``clock`` and ``executor`` are the deterministic-simulation
+        seams (:mod:`repro.simtest`): ``clock`` replaces
+        ``time.monotonic`` and ``executor`` (a
+        :class:`~repro.simtest.SimScheduler`) replaces the worker
+        threads — queries then execute as cooperatively scheduled steps
+        whose interleaving is a pure function of the scheduler's seed.
+        Leave both ``None`` in production."""
         self.config = config if config is not None else ServiceConfig()
+        self._now = clock if clock is not None else time.monotonic
+        self._executor = executor
         self._durable: Optional[DurableIndex] = None
         if isinstance(target, SpatialKeywordDatabase):
             self._db: Optional[SpatialKeywordDatabase] = target
@@ -212,16 +223,19 @@ class QueryService:
         self._queue: "SimpleQueue" = SimpleQueue()
         self._closed = False
         self._close_lock = threading.Lock()
-        self._started = time.monotonic()
+        self._started = self._now()
         self.metrics.gauge("service.workers").set(self.config.workers)
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"repro-query-{i}", daemon=True
-            )
-            for i in range(self.config.workers)
-        ]
-        for thread in self._workers:
-            thread.start()
+        if executor is None:
+            self._workers = [
+                threading.Thread(
+                    target=self._worker_loop, name=f"repro-query-{i}", daemon=True
+                )
+                for i in range(self.config.workers)
+            ]
+            for thread in self._workers:
+                thread.start()
+        else:
+            self._workers = []
 
     # ------------------------------------------------------------------
     # Query submission
@@ -247,13 +261,17 @@ class QueryService:
         if self._closed:  # closed while we waited for admission
             self._admission.release()
             raise ServiceClosed("service is closed")
-        now = time.monotonic()
+        now = self._now()
         deadline = (
             now + self.config.timeout if self.config.timeout is not None else None
         )
         task = _Task(query, Future(), enqueued=now, deadline=deadline)
         self.metrics.gauge("queue.depth").inc()
         self._queue.put(task)
+        if self._executor is not None:
+            # Sim mode: one scheduler thunk stands in for one worker
+            # dequeue — it runs when the seeded scheduler picks it.
+            self._executor.spawn(self._step_once)
         return task.future
 
     def search(self, query: TopKQuery) -> List[Any]:
@@ -264,6 +282,16 @@ class QueryService:
         worker is still grinding on its query.
         """
         future = self.submit(query)
+        if self._executor is not None:
+            # Sim mode: drive the cooperative scheduler instead of
+            # blocking a thread; the future is resolved (or failed)
+            # entirely by simulated work.
+            self._executor.run_until(future.done)
+            try:
+                return future.result(timeout=0)
+            except FutureTimeout:
+                self.metrics.counter("queries.timed_out").inc()
+                raise QueryTimeout(self.config.timeout, queued=False) from None
         if self.config.timeout is None:
             return future.result()
         try:
@@ -357,6 +385,14 @@ class QueryService:
         """The index currently being served (changes on :meth:`recover`)."""
         return self._index
 
+    @property
+    def sim_executor(self) -> Optional[Any]:
+        """The injected simulation scheduler, or ``None`` when this
+        service runs real worker threads.  Callers that would block on a
+        future (e.g. :meth:`repro.cluster.ShardReplica.search`) must
+        drive this scheduler instead."""
+        return self._executor
+
     # ------------------------------------------------------------------
     # Streaming (standing queries)
     # ------------------------------------------------------------------
@@ -425,34 +461,48 @@ class QueryService:
             task = self._queue.get()
             if task is _SHUTDOWN:
                 return
-            self.metrics.gauge("queue.depth").dec()
-            now = time.monotonic()
-            if task.deadline is not None and now >= task.deadline:
-                # Expired while queued: shed the work, fail the waiter.
-                self.metrics.counter("queries.timed_out").inc()
-                self._admission.release()
-                task.future.set_exception(
-                    QueryTimeout(self.config.timeout, queued=True)
-                )
-                continue
-            self.metrics.histogram("queue_wait_ms").observe(
-                (now - task.enqueued) * 1000.0
+            self._process(task)
+
+    def _step_once(self) -> None:
+        """Sim-mode worker step: dequeue and process at most one task."""
+        try:
+            task = self._queue.get_nowait()
+        except Empty:
+            return
+        if task is _SHUTDOWN:
+            return
+        self._process(task)
+
+    def _process(self, task: _Task) -> None:
+        """Run one dequeued task: deadline check, execute, resolve."""
+        self.metrics.gauge("queue.depth").dec()
+        now = self._now()
+        if task.deadline is not None and now >= task.deadline:
+            # Expired while queued: shed the work, fail the waiter.
+            self.metrics.counter("queries.timed_out").inc()
+            self._admission.release()
+            task.future.set_exception(
+                QueryTimeout(self.config.timeout, queued=True)
             )
-            self.metrics.gauge("queries.inflight").inc()
-            try:
-                started = time.monotonic()
-                result = self._execute(task.query)
-                self.metrics.histogram("latency_ms").observe(
-                    (time.monotonic() - started) * 1000.0
-                )
-                self.metrics.counter("queries.completed").inc()
-                task.future.set_result(result)
-            except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
-                self.metrics.counter("queries.failed").inc()
-                task.future.set_exception(exc)
-            finally:
-                self.metrics.gauge("queries.inflight").dec()
-                self._admission.release()
+            return
+        self.metrics.histogram("queue_wait_ms").observe(
+            (now - task.enqueued) * 1000.0
+        )
+        self.metrics.gauge("queries.inflight").inc()
+        try:
+            started = self._now()
+            result = self._execute(task.query)
+            self.metrics.histogram("latency_ms").observe(
+                (self._now() - started) * 1000.0
+            )
+            self.metrics.counter("queries.completed").inc()
+            task.future.set_result(result)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+            self.metrics.counter("queries.failed").inc()
+            task.future.set_exception(exc)
+        finally:
+            self.metrics.gauge("queries.inflight").dec()
+            self._admission.release()
 
     def _execute(self, query: TopKQuery) -> List[Any]:
         """One query under the shared lock, with per-query I/O metrics."""
@@ -493,7 +543,7 @@ class QueryService:
         completed queries per second).
         """
         snapshot = self.metrics.as_dict()
-        uptime = time.monotonic() - self._started
+        uptime = self._now() - self._started
         completed = snapshot["counters"].get("queries.completed", 0)
         snapshot["service"] = {
             "workers": self.config.workers,

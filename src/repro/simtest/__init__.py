@@ -1,0 +1,59 @@
+"""Deterministic simulation testing: seeded whole-system fuzzing.
+
+FoundationDB-style testing for the spatial-keyword stack: the scheduler,
+the clock, and the filesystem are all simulated, so an entire
+mutate/query/crash/recover/failover workload — including its thread
+interleavings and its power-failure outcomes — is a pure function of
+one integer seed.  A failing seed shrinks to a minimal trace and
+replays exactly, on any machine.
+
+    repro simtest --seeds 200          # fuzz 200 seeds
+    repro simtest --seed 1337          # one seed, verbose
+    repro simtest --replay trace.json  # re-execute a failure artifact
+
+See ``docs/testing.md`` for the testing-pyramid context and
+:mod:`repro.simtest.harness` for the invariant catalogue.
+"""
+
+from repro.simtest.clock import SimClock, SimScheduler
+from repro.simtest.harness import (
+    BUGS,
+    SimFailure,
+    SimReport,
+    run_seed,
+    run_trace,
+    shrink_failure,
+)
+from repro.simtest.oracle import InvariantViolation, ModelOracle, result_pairs
+from repro.simtest.simfs import SimFileSystem, SimulatedCrash
+from repro.simtest.trace import (
+    canonical_json,
+    load_trace,
+    save_trace,
+    shrink_trace,
+    trace_hash,
+)
+from repro.simtest.workload import VOCAB, generate_trace
+
+__all__ = [
+    "BUGS",
+    "InvariantViolation",
+    "ModelOracle",
+    "SimClock",
+    "SimFailure",
+    "SimFileSystem",
+    "SimReport",
+    "SimScheduler",
+    "SimulatedCrash",
+    "VOCAB",
+    "canonical_json",
+    "generate_trace",
+    "load_trace",
+    "result_pairs",
+    "run_seed",
+    "run_trace",
+    "save_trace",
+    "shrink_failure",
+    "shrink_trace",
+    "trace_hash",
+]

@@ -1,0 +1,132 @@
+"""Virtual time and a seeded cooperative scheduler.
+
+Deterministic simulation needs two substitutions: **time** must be a
+counter the harness advances (never the wall clock), and **concurrency**
+must be a scheduler whose interleavings are a pure function of a seed
+(never OS threads).  This module provides both.
+
+:class:`SimClock` is a drop-in stand-in for ``time.monotonic`` (it is
+callable) that also offers ``sleep`` — a sleep under simulation simply
+advances virtual time, so a "0.05 s deadline" test runs in microseconds
+and can never flake on a loaded CI machine.
+
+:class:`SimScheduler` replaces worker threads.  Code under test spawns
+thunks instead of threads; the scheduler runs them one at a time,
+picking the next runnable thunk with a seeded RNG.  Each thunk runs to
+completion (cooperative, not preemptive), so a step's interleaving
+nondeterminism lives entirely in the *order* thunks run — which is
+reproducible from the seed.  :class:`~repro.service.QueryService` and
+:class:`~repro.cluster.ClusterService` accept a clock and an executor
+exactly so the simulation harness (:mod:`repro.simtest.harness`) can
+inject these.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+__all__ = ["SimClock", "SimScheduler"]
+
+
+class SimClock:
+    """Virtual monotonic time, advanced explicitly by the harness.
+
+    Callable (returns the current virtual seconds) so it substitutes
+    directly for ``time.monotonic``; ``sleep`` substitutes for
+    ``time.sleep`` by advancing the clock instead of blocking.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def monotonic(self) -> float:
+        """Alias for calling the clock (mirrors ``time.monotonic``)."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move virtual time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """A simulated sleep: time passes, nothing blocks."""
+        if seconds > 0:
+            self.advance(seconds)
+
+
+class SimScheduler:
+    """A seeded cooperative executor: spawned thunks run in seeded order.
+
+    The services' sim seam calls :meth:`spawn` where production code
+    would hand work to a thread, and :meth:`run_until` where production
+    code would block on a future.  ``max_steps`` guards against a thunk
+    that respawns itself forever.
+    """
+
+    def __init__(self, seed: int = 0, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._rng = random.Random(seed)
+        self._runnable: List[Callable[[], None]] = []
+        self.steps_run = 0
+
+    def spawn(self, fn: Callable[[], None]) -> None:
+        """Make ``fn`` runnable (it runs during a later ``step``)."""
+        self._runnable.append(fn)
+
+    @property
+    def pending(self) -> int:
+        """Runnable thunks not yet executed."""
+        return len(self._runnable)
+
+    def step(self) -> bool:
+        """Run one seeded-randomly chosen runnable thunk.
+
+        Returns False when nothing is runnable.  The chosen thunk runs
+        to completion before the next choice — interleaving happens at
+        thunk granularity only.
+        """
+        if not self._runnable:
+            return False
+        index = self._rng.randrange(len(self._runnable))
+        fn = self._runnable.pop(index)
+        self.steps_run += 1
+        fn()
+        return True
+
+    def run_until_idle(self, max_steps: int = 100_000) -> int:
+        """Run until no thunk is runnable; returns thunks executed."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_steps:
+                raise RuntimeError(
+                    f"scheduler still busy after {max_steps} steps "
+                    "(runaway respawn?)"
+                )
+        return executed
+
+    def run_until(
+        self, predicate: Callable[[], bool], max_steps: int = 100_000
+    ) -> bool:
+        """Run thunks until ``predicate()`` holds or nothing is runnable.
+
+        Returns the final predicate value — False means the condition
+        cannot be reached by running more simulated work.
+        """
+        executed = 0
+        while not predicate():
+            if not self.step():
+                return predicate()
+            executed += 1
+            if executed > max_steps:
+                raise RuntimeError(
+                    f"predicate unmet after {max_steps} steps "
+                    "(runaway respawn?)"
+                )
+        return True

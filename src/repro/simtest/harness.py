@@ -1,0 +1,605 @@
+"""The whole-system simulation: execute one trace, check every invariant.
+
+One :func:`run_trace` call builds a complete system — virtual clock,
+seeded cooperative scheduler, in-memory crash-injectable filesystem,
+durable index (or a sharded cluster of them), query service, streaming
+service — executes the trace's steps, and checks the system against the
+:class:`~repro.simtest.oracle.ModelOracle` after every step.  Nothing
+touches real time, real threads, or the real disk, so the entire run is
+a pure function of the trace: same trace, byte-identical
+:attr:`SimReport.run_hash`.
+
+Invariants checked (named for shrinking identity):
+
+* ``topk-equivalence`` — every query/search answer equals the model's
+  exact top-k (scores compared to 9 decimals, like the equivalence
+  suite).
+* ``cache-coherence`` — when a served answer is wrong but a fresh
+  index query is right, the result cache returned a stale epoch.
+* ``epoch-monotonicity`` — the mutation epoch never goes backwards,
+  and recovery restores exactly the acknowledged epoch.
+* ``prefix-durability`` — recovery covers ``M`` mutations with
+  ``acked <= M <= submitted`` and answers equal to the model replayed
+  to ``M`` (crash-killed calls count as *in doubt*: allowed, not
+  required, in the recovered prefix).
+* ``standing-query`` — every registered standing query's maintained
+  top-k equals a from-scratch query of the model.
+* ``stream-delivery`` — after draining a subscription, the last
+  delivered update per query equals the model's top-k (relaxed across
+  windows where the bounded queue legitimately dropped updates).
+* ``cluster-degraded`` — with a full replica set (even during a
+  single-replica outage) no scatter-gather answer is degraded.
+* ``unhandled-exception`` — nothing under test raised unexpectedly.
+
+The three ``inject_bug`` hooks flip known-bad behaviours so CI can
+prove the harness actually catches what it claims to catch:
+``lost-wal-record`` applies every 5th mutation to the index while
+skipping its WAL append; ``stale-cache`` swaps in a result cache that
+ignores epochs; ``dropped-push`` silently discards every 3rd
+subscriber notification.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.partition import HashPartitioner
+from repro.cluster.service import ClusterConfig, ClusterService
+from repro.core.index import I3Index
+from repro.core.recovery import DurableIndex
+from repro.model.query import TopKQuery
+from repro.model.scoring import Ranker
+from repro.service.cache import QueryResultCache
+from repro.service.service import QueryService, ServiceConfig
+from repro.simtest.clock import SimClock, SimScheduler
+from repro.simtest.oracle import InvariantViolation, ModelOracle, result_pairs
+from repro.simtest.simfs import SimFileSystem, SimulatedCrash
+from repro.simtest.trace import shrink_trace, trace_hash
+from repro.simtest.workload import (
+    doc_from_dict,
+    generate_trace,
+    query_from_dict,
+)
+from repro.spatial.geometry import UNIT_SQUARE
+from repro.streaming.service import StreamConfig
+from repro.streaming.tail import StreamCheckpoint
+
+__all__ = ["BUGS", "SimFailure", "SimReport", "run_seed", "run_trace", "shrink_failure"]
+
+BUGS = ("lost-wal-record", "stale-cache", "dropped-push")
+
+
+@dataclass(frozen=True)
+class SimFailure:
+    """One invariant violation, pinned to the step that surfaced it."""
+
+    invariant: str
+    step_index: int
+    detail: str
+
+
+@dataclass
+class SimReport:
+    """The outcome of executing one trace."""
+
+    seed: int
+    mode: str
+    steps_run: int
+    run_hash: str
+    failure: Optional[SimFailure] = None
+    trace: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class _StaleCache(QueryResultCache):
+    """Injected bug: stamps every entry with epoch 0 and looks entries
+    up at epoch 0, so mutations never invalidate anything."""
+
+    def put(self, key, epoch, value) -> None:  # noqa: D102
+        super().put(key, 0, value)
+
+    def get(self, key, epoch):  # noqa: D102
+        return super().get(key, 0)
+
+
+def run_seed(
+    seed: int,
+    steps: Optional[int] = None,
+    mode: Optional[str] = None,
+    inject_bug: Optional[str] = None,
+) -> SimReport:
+    """Generate the seed's trace and execute it."""
+    if inject_bug is not None:
+        # The injected bugs live in the single-node stack.
+        mode = "single"
+    return run_trace(generate_trace(seed, steps=steps, mode=mode), inject_bug)
+
+
+def run_trace(trace: Dict, inject_bug: Optional[str] = None) -> SimReport:
+    """Execute one trace against a freshly built simulated system."""
+    if inject_bug is not None and inject_bug not in BUGS:
+        raise ValueError(f"unknown bug {inject_bug!r}; choose from {BUGS}")
+    sim = _Simulation(trace, inject_bug)
+    return sim.run()
+
+
+def shrink_failure(
+    trace: Dict,
+    invariant: str,
+    inject_bug: Optional[str] = None,
+    max_attempts: int = 400,
+) -> Dict:
+    """Shrink a failing trace, preserving the violated invariant."""
+
+    def still_fails(candidate: Dict) -> bool:
+        report = run_trace(candidate, inject_bug)
+        return report.failure is not None and report.failure.invariant == invariant
+
+    return shrink_trace(trace, still_fails, max_attempts=max_attempts)
+
+
+class _Simulation:
+    """One trace execution: system under test + oracle + checkers."""
+
+    def __init__(self, trace: Dict, bug: Optional[str]) -> None:
+        self.trace = trace
+        self.bug = bug
+        self.space = UNIT_SQUARE
+        self.ranker = Ranker(self.space, alpha=0.5)
+        self.clock = SimClock()
+        self.sched = SimScheduler(seed=trace["seed"], clock=self.clock)
+        self.fs = SimFileSystem()
+        self.events: List[Dict] = []
+        self._mutations = 0
+        self._epoch_watermark = 0
+        initial = [doc_from_dict(d) for d in trace["config"]["initial_docs"]]
+        self.oracle = ModelOracle(self.space, alpha=0.5, initial_docs=initial)
+        if trace["mode"] == "single":
+            self._setup_single(initial)
+        else:
+            self._setup_cluster(initial)
+
+    # ------------------------------------------------------------------
+    # System construction
+    # ------------------------------------------------------------------
+    def _setup_single(self, initial) -> None:
+        cfg = self.trace["config"]
+        index = I3Index(self.space, page_size=256)
+        if initial:
+            index.bulk_load(initial)
+        self.durable = DurableIndex.create(
+            "simstore", index, fs=self.fs, sync_every=cfg["sync_every"]
+        )
+        self.service = QueryService(
+            self.durable,
+            ServiceConfig(workers=2, max_pending=64, cache_capacity=64,
+                          metrics_seed=0),
+            ranker=self.ranker,
+            clock=self.clock,
+            executor=self.sched,
+        )
+        if self.bug == "stale-cache":
+            self.service.cache = _StaleCache(capacity=64)
+        self.streams = self.service.streams(StreamConfig())
+        if self.bug == "dropped-push":
+            matcher = self.streams.matcher
+            emit = matcher._emit
+            dropped = [0]
+
+            def lossy_emit(sq):
+                dropped[0] += 1
+                if dropped[0] % 3 == 0:
+                    return
+                emit(sq)
+
+            matcher._emit = lossy_emit
+        self.cluster = None
+        # Subscriber-side state.
+        self.subs: Dict[str, Any] = {}
+        self.trackers: Dict[str, StreamCheckpoint] = {}
+        self.owned: Dict[str, Dict[int, Tuple[TopKQuery, float]]] = {}
+        self.last_delivered: Dict[int, List] = {}
+        self._drops_seen: Dict[str, int] = {}
+        for sub_cfg in cfg["subscribers"]:
+            name = sub_cfg["name"]
+            self.subs[name] = self.streams.subscribe(
+                name, capacity=sub_cfg["capacity"], policy=sub_cfg["policy"]
+            )
+            self.trackers[name] = StreamCheckpoint(name)
+            self.owned[name] = {}
+            self._drops_seen[name] = 0
+
+    def _setup_cluster(self, initial) -> None:
+        cfg = self.trace["config"]
+        partitioner = HashPartitioner(cfg["shards"], self.space)
+        self.cluster = ClusterService.build(
+            initial,
+            partitioner,
+            ClusterConfig(
+                replicas=cfg["replicas"],
+                scatter_width=2,
+                retry_rounds=1,
+                backoff=0.0,
+                failure_threshold=2,
+                cache_capacity=64,
+                shard_config=ServiceConfig(
+                    workers=2, max_pending=64, cache_capacity=32, metrics_seed=0
+                ),
+                metrics_seed=0,
+            ),
+            ranker=self.ranker,
+            durable_root="simcluster",
+            clock=self.clock,
+            executor=self.sched,
+            fs=self.fs,
+            page_size=256,
+        )
+        self.service = None
+        self.streams = None
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(self) -> SimReport:
+        failure: Optional[SimFailure] = None
+        steps_run = 0
+        handlers: Dict[str, Callable[[Dict], None]] = (
+            self._single_handlers() if self.trace["mode"] == "single"
+            else self._cluster_handlers()
+        )
+        try:
+            for i, step in enumerate(self.trace["steps"]):
+                try:
+                    handler = handlers.get(step["op"])
+                    if handler is None:
+                        raise InvariantViolation(
+                            "unhandled-exception", f"unknown op {step['op']!r}"
+                        )
+                    handler(step)
+                    self._check_step(i, step)
+                except InvariantViolation as exc:
+                    failure = SimFailure(exc.invariant, i, exc.detail
+                                         if hasattr(exc, "detail") else str(exc))
+                    break
+                except (Exception, SimulatedCrash):
+                    failure = SimFailure(
+                        "unhandled-exception", i,
+                        traceback.format_exc(limit=6),
+                    )
+                    break
+                steps_run += 1
+        finally:
+            try:
+                if self.cluster is not None:
+                    self.cluster.close()
+                elif self.service is not None:
+                    self.service.close(drain=False)
+            except (Exception, SimulatedCrash):
+                pass
+        return SimReport(
+            seed=self.trace["seed"],
+            mode=self.trace["mode"],
+            steps_run=steps_run,
+            run_hash=trace_hash(self.trace, self.events),
+            failure=failure,
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared per-step checks
+    # ------------------------------------------------------------------
+    def _current_epoch(self) -> int:
+        if self.cluster is not None:
+            return self.cluster.cluster_epoch()
+        return self.service.index.epoch
+
+    def _check_step(self, i: int, step: Dict) -> None:
+        epoch = self._current_epoch()
+        if epoch < self._epoch_watermark:
+            raise InvariantViolation(
+                "epoch-monotonicity",
+                f"epoch went backwards: {self._epoch_watermark} -> {epoch} "
+                f"after step {i} ({step['op']})",
+            )
+        self._epoch_watermark = epoch
+        if self.streams is not None:
+            for name, qmap in self.owned.items():
+                for qid, (query, alpha) in qmap.items():
+                    current = self.streams.results(qid)
+                    if current is None:
+                        raise InvariantViolation(
+                            "standing-query",
+                            f"query {qid} vanished from the registry",
+                        )
+                    expected = self.oracle.topk_pairs(
+                        query, Ranker(self.space, alpha)
+                    )
+                    got = result_pairs(current)
+                    if got != expected:
+                        raise InvariantViolation(
+                            "standing-query",
+                            f"standing query {qid} ({name}) maintains {got}, "
+                            f"model says {expected}",
+                        )
+        self.events.append({"i": i, "op": step["op"], "epoch": epoch})
+
+    # ------------------------------------------------------------------
+    # Single-node handlers
+    # ------------------------------------------------------------------
+    def _single_handlers(self) -> Dict[str, Callable[[Dict], None]]:
+        return {
+            "insert": self._do_mutation,
+            "delete": self._do_mutation,
+            "update": self._do_mutation,
+            "query": self._do_query,
+            "checkpoint": lambda step: self.service.checkpoint(),
+            "crash": self._do_crash,
+            "register": self._do_register,
+            "poll": self._do_poll,
+            "kill_resume": self._do_kill_resume,
+        }
+
+    def _do_mutation(self, step: Dict) -> None:
+        op = step["op"]
+        if op == "insert":
+            doc = doc_from_dict(step["doc"])
+            if self.oracle.get(doc.doc_id) is not None:
+                return  # duplicate id (possible in shrunk traces): skip
+            self._mutate("insert", doc)
+        elif op == "delete":
+            doc = self.oracle.get(step["doc_id"])
+            if doc is None:
+                return
+            self._mutate("delete", doc)
+        else:
+            old = self.oracle.get(step["doc_id"])
+            if old is None:
+                return
+            self._mutate("update", old, doc_from_dict(step["new"]))
+
+    def _mutate(self, kind: str, doc, new=None) -> None:
+        self._mutations += 1
+        bypass = (
+            self.bug == "lost-wal-record" and self._mutations % 5 == 0
+        )
+        try:
+            if kind == "insert":
+                if bypass:
+                    self.service.mutate(lambda t: t.index.insert_document(doc))
+                else:
+                    self.service.insert(doc)
+            elif kind == "delete":
+                if bypass:
+                    self.service.mutate(lambda t: t.index.delete_document(doc))
+                else:
+                    self.service.delete(doc)
+            else:
+                target = (lambda t: t.index) if bypass else (lambda t: t)
+                self.service.mutate(
+                    lambda t: target(t).update_document(doc, new)
+                )
+        except SimulatedCrash:
+            # The call died mid-write: its WAL record may or may not be
+            # durable.  Record it as in doubt and let the crash step
+            # resolve which world we are in.
+            self.oracle.record_in_doubt(kind, doc, new)
+            raise
+        epoch = self.service.index.epoch
+        if kind == "insert":
+            self.oracle.apply_insert(doc, epoch)
+        elif kind == "delete":
+            self.oracle.apply_delete(doc, epoch)
+        else:
+            self.oracle.apply_update(doc, new, epoch)
+
+    def _do_query(self, step: Dict) -> None:
+        query = query_from_dict(step["query"])
+        got = result_pairs(self.service.search(query))
+        expected = self.oracle.topk_pairs(query)
+        if got != expected:
+            # Distinguish a stale cached answer from a wrong index: ask
+            # the index directly, bypassing the result cache.
+            fresh = result_pairs(
+                self.service.read(
+                    lambda _t: self.service.index.query(query, self.ranker)
+                )
+            )
+            if fresh == expected:
+                raise InvariantViolation(
+                    "cache-coherence",
+                    f"served {got} but a cache-bypassing query agrees with "
+                    f"the model ({expected}) — stale cache entry",
+                )
+            raise InvariantViolation(
+                "topk-equivalence",
+                f"query {step['query']} returned {got}, model says {expected}",
+            )
+        self.events.append({"op": "query", "results": got})
+
+    def _do_crash(self, step: Dict) -> None:
+        if step["after_ops"] is not None:
+            self.fs.schedule_crash(step["after_ops"])
+        for mutation in step["burst"]:
+            try:
+                self._do_mutation(mutation)
+            except SimulatedCrash:
+                break
+        self.fs.disarm()
+        acked = self.durable.synced_lsn
+        submitted = len(self.oracle.history)
+        self.fs.crash(random.Random(step["salt"]))
+        report = self.service.recover()
+        recovered = report.mutations_recovered
+        if not acked <= recovered <= submitted:
+            raise InvariantViolation(
+                "prefix-durability",
+                f"recovery covers {recovered} mutations, outside "
+                f"[acked={acked}, submitted={submitted}]",
+            )
+        reference = self.oracle.state_at(recovered)
+        for probe in step["probes"]:
+            query = query_from_dict(probe)
+            got = result_pairs(self.service.search(query))
+            expected = result_pairs(reference.query(query, self.ranker))
+            if got != expected:
+                raise InvariantViolation(
+                    "prefix-durability",
+                    f"after recovering {recovered}/{submitted} mutations "
+                    f"probe {probe['words']} returned {got}, replaying the "
+                    f"acknowledged prefix gives {expected}",
+                )
+        expected_epoch = self.oracle.epoch_at(recovered)
+        if (
+            expected_epoch is not None
+            and self.service.index.epoch != expected_epoch
+        ):
+            raise InvariantViolation(
+                "epoch-monotonicity",
+                f"recovery restored epoch {self.service.index.epoch}, the "
+                f"acknowledged history left it at {expected_epoch}",
+            )
+        self.oracle.truncate_to(recovered)
+        self._epoch_watermark = self.service.index.epoch
+        self.events.append({"op": "crash", "recovered": recovered,
+                            "acked": acked, "submitted": submitted})
+
+    def _do_register(self, step: Dict) -> None:
+        name = step["sub"]
+        query = query_from_dict(step["query"])
+        qid = self.streams.register(self.subs[name], query, alpha=step["alpha"])
+        self.owned[name][qid] = (query, step["alpha"])
+        self.trackers[name].track(qid, query, step["alpha"])
+
+    def _do_poll(self, step: Dict) -> None:
+        name = step["sub"]
+        sub = self.subs[name]
+        updates = sub.poll(timeout=0.0)
+        self.trackers[name].record_all(updates)
+        lsns = [u.lsn for u in updates if u.lsn is not None]
+        if lsns:
+            sub.ack(max(lsns))
+        for update in updates:
+            self.last_delivered[update.query_id] = result_pairs(update.results)
+        drops = sub.dropped
+        if drops != self._drops_seen[name]:
+            # The bounded queue legitimately evicted updates in this
+            # window; a real client resynchronises (that is what resume
+            # is for), so expectations reset to the live maintained
+            # state rather than flagging the documented loss.
+            self._drops_seen[name] = drops
+            for qid in self.owned[name]:
+                current = self.streams.results(qid)
+                if current is not None:
+                    self.last_delivered[qid] = result_pairs(current)
+            self.events.append({"op": "poll", "sub": name, "lossy": drops})
+            return
+        for qid, (query, alpha) in self.owned[name].items():
+            expected = self.oracle.topk_pairs(query, Ranker(self.space, alpha))
+            got = self.last_delivered.get(qid)
+            if got != expected:
+                raise InvariantViolation(
+                    "stream-delivery",
+                    f"subscriber {name} last saw {got} for query {qid}, "
+                    f"model says {expected}",
+                )
+        self.events.append(
+            {"op": "poll", "sub": name, "delivered": len(updates)}
+        )
+
+    def _do_kill_resume(self, step: Dict) -> None:
+        name = step["sub"]
+        # Kill: the subscriber process dies without unsubscribing —
+        # pending and future pushes are lost on the floor.
+        self.subs[name].close()
+        sub = self.streams.resume(
+            self.trackers[name],
+            capacity=self.subs[name].capacity,
+            policy=self.subs[name].policy,
+        )
+        self.subs[name] = sub
+        # The fresh subscription's drop counter restarts at zero; the
+        # resume snapshots themselves may already have overflowed it, so
+        # baseline at 0 and let the drain below notice any loss.
+        self._drops_seen[name] = 0
+        # Resume queued fresh snapshots; drain them so delivered state
+        # reflects the reconnect.
+        self._do_poll({"op": "poll", "sub": name})
+
+    # ------------------------------------------------------------------
+    # Cluster handlers
+    # ------------------------------------------------------------------
+    def _cluster_handlers(self) -> Dict[str, Callable[[Dict], None]]:
+        return {
+            "insert": self._do_cluster_mutation,
+            "delete": self._do_cluster_mutation,
+            "search": self._do_search,
+            "shard_checkpoint": self._do_shard_checkpoint,
+            "outage": self._do_outage,
+        }
+
+    def _do_cluster_mutation(self, step: Dict) -> None:
+        if step["op"] == "insert":
+            doc = doc_from_dict(step["doc"])
+            if self.oracle.get(doc.doc_id) is not None:
+                return
+            self.cluster.insert_document(doc)
+            self.oracle.apply_insert(doc)
+        else:
+            doc = self.oracle.get(step["doc_id"])
+            if doc is None:
+                return
+            self.cluster.delete_document(doc)
+            self.oracle.apply_delete(doc)
+
+    def _search_and_check(self, query_dict: Dict, context: str) -> None:
+        query = query_from_dict(query_dict)
+        answer = self.cluster.search(query)
+        if answer.degraded:
+            raise InvariantViolation(
+                "cluster-degraded",
+                f"{context}: answer degraded (failed shards "
+                f"{answer.failed_shards}) with a full replica set",
+            )
+        got = result_pairs(answer.results)
+        expected = self.oracle.topk_pairs(query)
+        if got != expected:
+            raise InvariantViolation(
+                "topk-equivalence",
+                f"{context}: scatter-gather returned {got}, "
+                f"model says {expected}",
+            )
+        self.events.append({"op": "search", "results": got})
+
+    def _do_search(self, step: Dict) -> None:
+        self._search_and_check(step["query"], "search")
+
+    def _do_shard_checkpoint(self, step: Dict) -> None:
+        rep = self.cluster.replica(step["shard"], step["replica"])
+        if rep.alive:
+            rep.service.checkpoint()
+
+    def _do_outage(self, step: Dict) -> None:
+        rep = self.cluster.replica(step["shard"], step["replica"])
+        if not rep.alive:
+            return  # already down (possible in shrunk traces)
+        rep.kill()
+        for probe in step["probes"]:
+            self._search_and_check(
+                probe,
+                f"during outage of shard {step['shard']} "
+                f"replica {step['replica']}",
+            )
+        self.cluster.recover(step["shard"], step["replica"])
+        self._search_and_check(
+            step["probes"][0],
+            f"after recovering shard {step['shard']} "
+            f"replica {step['replica']}",
+        )
+        self.events.append({"op": "outage", "shard": step["shard"],
+                            "replica": step["replica"]})

@@ -1,0 +1,161 @@
+"""The model oracle: a from-scratch reference the system must match.
+
+The simulator checks the real system — durable index, query service,
+streaming, cluster — against this model after every step.  The model is
+deliberately trivial: :class:`~repro.baselines.naive.NaiveScanIndex`
+(score every document, no index, no pruning) plus a mutation history.
+Everything interesting about the system under test (paged storage,
+signatures, WAL, caches, scatter-gather) is *absent* here, which is
+exactly what makes a disagreement meaningful.
+
+The history doubles as the durability reference: mutations are recorded
+in submission order — one entry per WAL LSN — so
+:meth:`ModelOracle.state_at` reconstructs the model state after any
+prefix, and a recovery that claims to cover ``M`` mutations can be
+checked for **acked-prefix durability**: ``acked <= M <= submitted`` and
+the recovered answers must equal ``state_at(M)``'s.  A mutation whose
+call was killed by a simulated crash is recorded as *in doubt* — its
+WAL record may or may not have survived, so it is a legal but optional
+part of the recovered prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.naive import NaiveScanIndex
+from repro.model.document import SpatialDocument
+from repro.model.query import TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import Rect
+
+__all__ = ["InvariantViolation", "ModelOracle", "result_pairs"]
+
+
+class InvariantViolation(AssertionError):
+    """One invariant checker found the system diverging from the model.
+
+    Attributes:
+        invariant: Stable checker name (``topk-equivalence``,
+            ``prefix-durability``, ``epoch-monotonicity``,
+            ``stream-delivery``, ``standing-query``,
+            ``cluster-degraded``, ``unhandled-exception``) — failure
+            identity for shrinking: a shrunk trace must fail the *same*
+            checker.
+        detail: Human-readable specifics.
+    """
+
+    def __init__(self, invariant: str, detail: str) -> None:
+        super().__init__(f"[{invariant}] {detail}")
+        self.invariant = invariant
+        self.detail = detail
+
+
+def result_pairs(results) -> List[Tuple[int, float]]:
+    """Normalise a result list for exact comparison (shared rounding
+    with the equivalence suite's ``results_as_pairs``)."""
+    return [(r.doc_id, round(r.score, 9)) for r in results]
+
+
+class ModelOracle:
+    """In-memory model state plus the LSN-aligned mutation history."""
+
+    def __init__(
+        self,
+        space: Rect,
+        alpha: float = 0.5,
+        initial_docs: Sequence[SpatialDocument] = (),
+    ) -> None:
+        self.space = space
+        self.ranker = Ranker(space, alpha)
+        self._initial = list(initial_docs)
+        self.naive = NaiveScanIndex()
+        for doc in self._initial:
+            self.naive.insert_document(doc)
+        # One entry per mutation, in submission order; entry["epoch"] is
+        # the system's index epoch observed after the mutation applied
+        # (None when unknown), entry["in_doubt"] marks a crash-killed
+        # call whose durability is undetermined.
+        self.history: List[Dict] = []
+
+    # ------------------------------------------------------------------
+    # Mutations (mirroring what the system was asked to do)
+    # ------------------------------------------------------------------
+    def apply_insert(self, doc: SpatialDocument, epoch: Optional[int] = None) -> None:
+        self.naive.insert_document(doc)
+        self.history.append({"kind": "insert", "doc": doc, "epoch": epoch,
+                             "in_doubt": False})
+
+    def apply_delete(self, doc: SpatialDocument, epoch: Optional[int] = None) -> None:
+        self.naive.delete_document(doc)
+        self.history.append({"kind": "delete", "doc": doc, "epoch": epoch,
+                             "in_doubt": False})
+
+    def apply_update(
+        self, old: SpatialDocument, new: SpatialDocument,
+        epoch: Optional[int] = None,
+    ) -> None:
+        self.naive.update_document(old, new)
+        self.history.append({"kind": "update", "doc": old, "new": new,
+                             "epoch": epoch, "in_doubt": False})
+
+    def record_in_doubt(self, kind: str, doc: SpatialDocument,
+                        new: Optional[SpatialDocument] = None) -> None:
+        """Record a mutation whose call died mid-flight: it may or may
+        not be part of the durable history.  The live model does NOT
+        apply it — the in-memory system never applied it either."""
+        self.history.append({"kind": kind, "doc": doc, "new": new,
+                             "epoch": None, "in_doubt": True})
+
+    def get(self, doc_id: int) -> Optional[SpatialDocument]:
+        return self.naive.get(doc_id)
+
+    def __len__(self) -> int:
+        return len(self.naive)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def topk(self, query: TopKQuery, ranker: Optional[Ranker] = None):
+        """The exact expected top-k for the current model state."""
+        return self.naive.query(query, ranker if ranker is not None else self.ranker)
+
+    def topk_pairs(self, query: TopKQuery, ranker: Optional[Ranker] = None):
+        return result_pairs(self.topk(query, ranker))
+
+    # ------------------------------------------------------------------
+    # Durability reference
+    # ------------------------------------------------------------------
+    def state_at(self, m: int) -> NaiveScanIndex:
+        """The model state after the first ``m`` history entries
+        (in-doubt entries replay as if applied — they are legal members
+        of a recovered prefix)."""
+        if not 0 <= m <= len(self.history):
+            raise ValueError(f"prefix {m} outside history of {len(self.history)}")
+        naive = NaiveScanIndex()
+        for doc in self._initial:
+            naive.insert_document(doc)
+        for entry in self.history[:m]:
+            if entry["kind"] == "insert":
+                naive.insert_document(entry["doc"])
+            elif entry["kind"] == "delete":
+                naive.delete_document(entry["doc"])
+            else:
+                naive.update_document(entry["doc"], entry["new"])
+        return naive
+
+    def epoch_at(self, m: int) -> Optional[int]:
+        """The system epoch observed after mutation ``m`` (None when the
+        boundary's epoch was never observed, e.g. an in-doubt entry)."""
+        if m == 0:
+            return None
+        return self.history[m - 1]["epoch"]
+
+    def truncate_to(self, m: int) -> None:
+        """Re-anchor the live model at prefix ``m`` — called after a
+        recovery, when the system has provably forgotten the tail.
+        Surviving in-doubt entries become facts."""
+        self.naive = self.state_at(m)
+        self.history = self.history[:m]
+        for entry in self.history:
+            entry["in_doubt"] = False

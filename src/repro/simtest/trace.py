@@ -1,0 +1,96 @@
+"""Trace persistence, hashing, and greedy shrinking.
+
+A trace (see :mod:`repro.simtest.workload`) is plain JSON, so failure
+artifacts are diffable, attachable to CI runs, and replayable on any
+machine with ``repro simtest --replay``.  :func:`trace_hash` fingerprints
+a *run*: the canonical JSON of the trace plus the observation stream the
+harness recorded while executing it.  Two runs of the same seed must
+produce byte-identical hashes — that equality is the determinism check.
+
+:func:`shrink_trace` is ddmin-lite: starting from the failing step list
+it repeatedly deletes chunks (halving the chunk size down to single
+steps) and keeps each deletion iff the replay still fails **the same
+invariant**.  Because steps are self-contained (they carry their own
+payloads and salts), deleting one never changes the meaning of the
+rest, so greedy removal converges to a small, still-failing repro.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "canonical_json",
+    "load_trace",
+    "save_trace",
+    "shrink_trace",
+    "trace_hash",
+]
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def trace_hash(trace: Dict, events: Optional[List] = None) -> str:
+    """SHA-256 fingerprint of a trace (and, when given, of the
+    observation stream its execution produced)."""
+    payload = {"trace": trace}
+    if events is not None:
+        payload["events"] = events
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def save_trace(trace: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+
+
+def load_trace(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def shrink_trace(
+    trace: Dict,
+    still_fails: Callable[[Dict], bool],
+    max_attempts: int = 2000,
+) -> Dict:
+    """Greedy step-removal shrinking (ddmin-lite).
+
+    Args:
+        trace: A trace whose replay fails.
+        still_fails: Replays a candidate trace, True iff it fails the
+            same way (same invariant) as the original.
+        max_attempts: Replay budget — shrinking stops (keeping the best
+            trace so far) once this many candidates have been tried.
+
+    Returns a new trace whose step list is 1-minimal w.r.t. chunk
+    removal within the attempt budget; the original dict is untouched.
+    """
+    steps: List[Dict] = list(trace["steps"])
+    attempts = 0
+
+    def candidate(step_list: List[Dict]) -> Dict:
+        out = dict(trace)
+        out["steps"] = step_list
+        return out
+
+    chunk = max(1, len(steps) // 2)
+    while chunk >= 1 and attempts < max_attempts:
+        i = 0
+        while i < len(steps) and attempts < max_attempts:
+            trial = steps[:i] + steps[i + chunk:]
+            attempts += 1
+            if trial != steps and still_fails(candidate(trial)):
+                steps = trial  # keep the deletion; retry same position
+            else:
+                i += chunk
+        chunk //= 2
+    shrunk = candidate(steps)
+    shrunk["shrunk_from"] = len(trace["steps"])
+    return shrunk

@@ -1,0 +1,303 @@
+"""Seeded workload generation for the simulation harness.
+
+A *trace* is a plain-JSON description of one whole-system run: the
+initial corpus, the subscriber roster, and a step list mixing document
+mutations, AND/OR top-k queries, checkpoints, crash/recover cycles,
+replica outages, and subscriber kill/resume.  Every step is
+**self-contained** — it carries all the randomness it needs (document
+payloads, crash salts, crash-point offsets) rather than drawing from a
+shared RNG at execution time.  That property is what makes traces
+replayable and shrinkable: deleting a step never changes what any other
+step does.
+
+``generate_trace(seed)`` is a pure function of its arguments, so the
+same seed always produces the same trace, and the harness's execution
+of it (virtual clock, seeded scheduler, in-memory filesystem) is a pure
+function of the trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set
+
+from repro.model.document import SpatialDocument
+from repro.model.query import Semantics, TopKQuery
+from repro.storage.records import f32
+
+__all__ = [
+    "VOCAB",
+    "doc_from_dict",
+    "doc_to_dict",
+    "generate_trace",
+    "query_from_dict",
+]
+
+# A compact vocabulary keeps keyword overlap high, so AND queries match,
+# signatures saturate, and deletes actually shrink posting lists.
+VOCAB = (
+    "cafe", "sushi", "pizza", "museum", "park", "hotel",
+    "bar", "gym", "library", "cinema", "market", "bakery",
+    "pharmacy", "theater",
+)
+
+_CLUSTER_FRACTION = 0.25  # of seeds run the sharded-cluster workload
+
+
+# ---------------------------------------------------------------------------
+# JSON <-> model conversions (traces hold only plain JSON values)
+# ---------------------------------------------------------------------------
+def doc_to_dict(doc: SpatialDocument) -> Dict:
+    return {
+        "id": doc.doc_id,
+        "x": doc.x,
+        "y": doc.y,
+        "terms": {w: doc.terms[w] for w in sorted(doc.terms)},
+    }
+
+
+def doc_from_dict(d: Dict) -> SpatialDocument:
+    return SpatialDocument(
+        doc_id=d["id"], x=d["x"], y=d["y"], terms=dict(d["terms"])
+    )
+
+
+def query_from_dict(q: Dict) -> TopKQuery:
+    return TopKQuery(
+        x=q["x"],
+        y=q["y"],
+        words=tuple(q["words"]),
+        k=q["k"],
+        semantics=Semantics.AND if q["semantics"] == "and" else Semantics.OR,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Random pieces
+# ---------------------------------------------------------------------------
+def _rand_doc(rng: random.Random, doc_id: int) -> Dict:
+    n_terms = rng.randint(1, 4)
+    words = rng.sample(VOCAB, n_terms)
+    return {
+        "id": doc_id,
+        "x": round(rng.random(), 6),
+        "y": round(rng.random(), 6),
+        # f32 quantisation makes naive and I3 scores bit-identical (both
+        # sides round-trip term weights through the page codec's float32).
+        "terms": {w: f32(round(rng.uniform(0.1, 1.0), 3)) for w in sorted(words)},
+    }
+
+
+def _rand_query(rng: random.Random) -> Dict:
+    n_words = rng.randint(1, 3)
+    return {
+        "x": round(rng.random(), 6),
+        "y": round(rng.random(), 6),
+        "words": sorted(rng.sample(VOCAB, n_words)),
+        "k": rng.choice([3, 5, 10]),
+        "semantics": rng.choice(["and", "or", "or"]),
+    }
+
+
+def _state_probe(k: int = 400) -> Dict:
+    """An OR query over the whole vocabulary with a huge k: its answer
+    pins (nearly) the entire document set, so comparing it against the
+    model after a recovery checks the full recovered state, not a
+    lucky top-k corner."""
+    return {
+        "x": 0.5,
+        "y": 0.5,
+        "words": sorted(VOCAB),
+        "k": k,
+        "semantics": "or",
+    }
+
+
+class _QueryPool:
+    """Remembers generated queries so a share of later ones repeat an
+    earlier shape exactly — repeated shapes are what exercise the result
+    caches (and what catches an epoch-ignoring cache)."""
+
+    def __init__(self, rng: random.Random, reuse: float) -> None:
+        self._rng = rng
+        self._reuse = reuse
+        self._pool: List[Dict] = []
+
+    def next(self) -> Dict:
+        if self._pool and self._rng.random() < self._reuse:
+            return dict(self._rng.choice(self._pool))
+        q = _rand_query(self._rng)
+        self._pool.append(q)
+        return q
+
+
+# ---------------------------------------------------------------------------
+# Trace generation
+# ---------------------------------------------------------------------------
+def generate_trace(
+    seed: int,
+    steps: Optional[int] = None,
+    mode: Optional[str] = None,
+) -> Dict:
+    """Build the full trace for one seed.
+
+    Args:
+        seed: Workload seed; also seeds the harness's scheduler.
+        steps: Step count override (defaults to a seed-chosen length).
+        mode: Force ``"single"`` or ``"cluster"`` (defaults to a
+            seed-chosen mode, ~25% cluster).
+    """
+    rng = random.Random(("repro-simtest", seed).__repr__())
+    # Draw the mode coin even when overridden so the rest of the stream
+    # is identical either way.
+    coin = rng.random()
+    if mode is None:
+        mode = "cluster" if coin < _CLUSTER_FRACTION else "single"
+    elif mode not in ("single", "cluster"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if mode == "cluster":
+        return _cluster_trace(seed, rng, steps)
+    return _single_trace(seed, rng, steps)
+
+
+def _single_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
+    n_steps = steps if steps is not None else rng.randint(30, 50)
+    next_id = 0
+    initial: List[Dict] = []
+    for _ in range(rng.randint(20, 40)):
+        initial.append(_rand_doc(rng, next_id))
+        next_id += 1
+    live: Set[int] = {d["id"] for d in initial}
+
+    subscribers = []
+    for i in range(rng.randint(1, 2)):
+        subscribers.append({
+            "name": f"sim-sub-{i}",
+            "capacity": rng.choice([4, 16, 128]),
+            "policy": rng.choice(["coalesce", "coalesce", "drop_oldest"]),
+        })
+    pool = _QueryPool(rng, reuse=0.3)
+
+    def mutation_step() -> Dict:
+        nonlocal next_id
+        roll = rng.random()
+        if roll < 0.5 or not live:
+            doc = _rand_doc(rng, next_id)
+            next_id += 1
+            live.add(doc["id"])
+            return {"op": "insert", "doc": doc}
+        if roll < 0.75:
+            doc_id = rng.choice(sorted(live))
+            live.discard(doc_id)
+            return {"op": "delete", "doc_id": doc_id}
+        doc_id = rng.choice(sorted(live))
+        new = _rand_doc(rng, doc_id)
+        return {"op": "update", "doc_id": doc_id, "new": new}
+
+    trace_steps: List[Dict] = []
+    # Standing queries go in early so most of the run exercises them.
+    for sub in subscribers:
+        for _ in range(rng.randint(1, 3)):
+            trace_steps.append({
+                "op": "register",
+                "sub": sub["name"],
+                "query": pool.next(),
+                "alpha": 0.5,
+            })
+    while len(trace_steps) < n_steps:
+        roll = rng.random()
+        if roll < 0.40:
+            trace_steps.append(mutation_step())
+        elif roll < 0.65:
+            trace_steps.append({"op": "query", "query": pool.next()})
+        elif roll < 0.70:
+            trace_steps.append({"op": "checkpoint"})
+        elif roll < 0.78:
+            burst = [mutation_step() for _ in range(rng.randint(1, 4))]
+            trace_steps.append({
+                "op": "crash",
+                "salt": rng.getrandbits(32),
+                # None = clean stop mid-burst is skipped; the crash still
+                # loses whatever the fsync cadence left unsynced.
+                "after_ops": None if rng.random() < 0.3 else rng.randint(1, 14),
+                "burst": burst,
+                "probes": [_state_probe(), pool.next(), pool.next()],
+            })
+        elif roll < 0.82:
+            sub = rng.choice(subscribers)
+            trace_steps.append({
+                "op": "register", "sub": sub["name"],
+                "query": pool.next(), "alpha": 0.5,
+            })
+        elif roll < 0.94:
+            trace_steps.append({"op": "poll", "sub": rng.choice(subscribers)["name"]})
+        else:
+            trace_steps.append({"op": "kill_resume",
+                                "sub": rng.choice(subscribers)["name"]})
+    return {
+        "version": 1,
+        "seed": seed,
+        "mode": "single",
+        "config": {
+            "initial_docs": initial,
+            "sync_every": rng.choice([1, 1, 1, 2, 4]),
+            "subscribers": subscribers,
+        },
+        "steps": trace_steps,
+    }
+
+
+def _cluster_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
+    n_steps = steps if steps is not None else rng.randint(20, 35)
+    shards = rng.choice([2, 3])
+    next_id = 0
+    initial: List[Dict] = []
+    for _ in range(rng.randint(24, 40)):
+        initial.append(_rand_doc(rng, next_id))
+        next_id += 1
+    live: Set[int] = {d["id"] for d in initial}
+    pool = _QueryPool(rng, reuse=0.4)
+
+    trace_steps: List[Dict] = []
+    while len(trace_steps) < n_steps:
+        roll = rng.random()
+        if roll < 0.28:
+            doc = _rand_doc(rng, next_id)
+            next_id += 1
+            live.add(doc["id"])
+            trace_steps.append({"op": "insert", "doc": doc})
+        elif roll < 0.40 and live:
+            doc_id = rng.choice(sorted(live))
+            live.discard(doc_id)
+            trace_steps.append({"op": "delete", "doc_id": doc_id})
+        elif roll < 0.80:
+            trace_steps.append({"op": "search", "query": pool.next()})
+        elif roll < 0.88:
+            trace_steps.append({
+                "op": "shard_checkpoint",
+                "shard": rng.randrange(shards),
+                "replica": rng.randrange(2),
+            })
+        else:
+            # Kill one replica, prove failover answers stay exact and
+            # complete, then recover it — all within one step, because
+            # the cluster has no anti-entropy: a replica that misses a
+            # write while dead can only rejoin via recovery *before*
+            # the next mutation reaches its shard.
+            trace_steps.append({
+                "op": "outage",
+                "shard": rng.randrange(shards),
+                "replica": rng.randrange(2),
+                "probes": [_state_probe(), pool.next()],
+            })
+    return {
+        "version": 1,
+        "seed": seed,
+        "mode": "cluster",
+        "config": {
+            "initial_docs": initial,
+            "shards": shards,
+            "replicas": 2,
+        },
+        "steps": trace_steps,
+    }

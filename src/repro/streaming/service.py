@@ -302,11 +302,26 @@ class StreamingService:
                 )
                 self._next_query_id = max(self._next_query_id, query_id + 1)
                 restored.append(sq)
-            if tail is not None and tail.covered:
+            # A checkpoint entry is a valid replay seed only if at least
+            # one update was actually delivered for it (``synced``): a
+            # query tracked but never polled has ``results = ()``, which
+            # is not its state at the acknowledged LSN when the store
+            # was seeded from a snapshot — replaying the tail on top of
+            # that empty seed would lose every snapshot-resident result.
+            # (Found by the simulation harness: seed 2 shrank to
+            # register -> kill -> resume.)
+            replayable = []
+            requery = []
+            for sq, entry in zip(restored, checkpoint.entries.values()):
+                if tail is not None and tail.covered and entry.synced:
+                    replayable.append((sq, entry))
+                else:
+                    requery.append(sq)
+            if replayable:
                 replay_registry = QueryRegistry(
                     self._index.space, grid_level=self.config.grid_level
                 )
-                for sq, entry in zip(restored, checkpoint.entries.values()):
+                for sq, entry in replayable:
                     sq.seed(list(entry.results))
                     replay_registry.add(sq)
                 replayer = IncrementalMatcher(
@@ -320,10 +335,9 @@ class StreamingService:
                 self.metrics.counter("stream.resume_replayed").inc(
                     len(tail.mutations)
                 )
-            else:
-                for sq in restored:
-                    sq.seed(self._index.query(sq.query, sq.ranker))
-                    self.metrics.counter("stream.resume_requeries").inc()
+            for sq in requery:
+                sq.seed(self._index.query(sq.query, sq.ranker))
+                self.metrics.counter("stream.resume_requeries").inc()
             for sq in restored:
                 self.registry.add(sq)
                 self._owner[sq.query_id] = sub.subscriber_id

@@ -37,11 +37,20 @@ __all__ = ["CheckpointEntry", "StreamCheckpoint", "TailMutation", "WalTail", "re
 
 @dataclass
 class CheckpointEntry:
-    """One standing query's last delivered state."""
+    """One standing query's last delivered state.
+
+    ``synced`` distinguishes "this query's top-k really was ``results``
+    when ``acked_lsn`` was acknowledged" from "no update was ever
+    delivered" — an entry that was only tracked has ``results = ()``,
+    which is *not* the state at LSN 0 when the store was seeded from a
+    snapshot.  Resume must re-query such entries instead of replaying
+    the log tail on top of an empty seed.
+    """
 
     query: TopKQuery
     alpha: float
     results: Tuple[ScoredDoc, ...] = ()
+    synced: bool = False
 
 
 class StreamCheckpoint:
@@ -68,6 +77,7 @@ class StreamCheckpoint:
         entry = self.entries.get(update.query_id)
         if entry is not None:
             entry.results = update.results
+            entry.synced = True
         if update.lsn is not None and update.lsn > self.acked_lsn:
             self.acked_lsn = update.lsn
 

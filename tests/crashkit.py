@@ -28,11 +28,12 @@ from typing import BinaryIO, Optional
 
 from repro.storage.fs import FileSystem
 
+# One crash type for the whole test stack: the simulation harness's
+# in-memory filesystem (repro.simtest.simfs) raises the same class, so
+# helpers that catch SimulatedCrash work against either filesystem.
+from repro.simtest.simfs import SimulatedCrash
+
 __all__ = ["SimulatedCrash", "CrashPointFS", "run_workload"]
-
-
-class SimulatedCrash(BaseException):
-    """The process-under-test died at an injected crash point."""
 
 
 class _CrashFile:

@@ -6,15 +6,30 @@ throughput only, never answers or accounting: batch results through
 execution, and the shared buffer pool / I/O counters must not lose
 updates (hits + misses == logical reads, physical reads == pool
 misses).
+
+The *timing-sensitive* behaviours — admission-control shedding and
+per-query deadlines — run on the simulation clock/scheduler
+(:mod:`repro.simtest.clock`) instead of real threads: the same service
+code executes, but which queries shed or expire is a pure function of
+the submission pattern and the virtual clock, so the assertions are
+exact counts rather than wall-clock races.
 """
 
 import random
 import threading
 
+import pytest
+
 from repro.core.index import I3Index
 from repro.model.query import Semantics, TopKQuery
 from repro.model.scoring import Ranker
-from repro.service import QueryService, ServiceConfig, ServiceOverloaded
+from repro.service import (
+    QueryService,
+    QueryTimeout,
+    ServiceConfig,
+    ServiceOverloaded,
+)
+from repro.simtest.clock import SimClock, SimScheduler
 from repro.spatial.geometry import UNIT_SQUARE
 from tests.helpers import DEFAULT_VOCAB, make_documents, results_as_pairs
 
@@ -145,37 +160,86 @@ class TestStressAgainstSequential:
                 )
 
     def test_shedding_accounting_under_contention(self):
+        """Admission control on the virtual scheduler: shedding is an
+        exact function of the submission pattern, not of thread timing.
+
+        Bursts of 16 submissions hit a max_pending=8 service with no
+        drain in between, so exactly 8 of every burst shed; the service
+        then drains fully before the next burst.  Accounting identities
+        must hold with exact, deterministic counts.
+        """
         index = _build_index(random.Random(1), docs=60)
-        requests = _mixed_workload(random.Random(2), count=300, distinct=40)
+        requests = _mixed_workload(random.Random(2), count=304, distinct=40)
+        ranker = Ranker(UNIT_SQUARE)
+        expected = {q: results_as_pairs(index.query(q, ranker)) for q in requests}
+
+        clock = SimClock()
+        sched = SimScheduler(seed=2, clock=clock)
         config = ServiceConfig(workers=8, max_pending=8, cache_capacity=0)
         outcomes = {"ok": 0, "shed": 0}
-        lock = threading.Lock()
-
-        with QueryService(index, config) as service:
-
-            def pump(chunk):
-                for query in chunk:
+        admitted = []
+        with QueryService(
+            index, config, ranker=ranker, clock=clock, executor=sched
+        ) as service:
+            for burst_start in range(0, len(requests), 16):
+                for query in requests[burst_start:burst_start + 16]:
                     try:
-                        result = service.submit(query).result(timeout=30)
-                        assert result is not None
-                        with lock:
-                            outcomes["ok"] += 1
+                        admitted.append((query, service.submit(query)))
                     except ServiceOverloaded:
-                        with lock:
-                            outcomes["shed"] += 1
-
-            threads = [
-                threading.Thread(target=pump, args=(requests[i::12],))
-                for i in range(12)
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
+                        outcomes["shed"] += 1
+                sched.run_until_idle()
+            for query, future in admitted:
+                assert results_as_pairs(future.result(timeout=0)) == expected[query]
+                outcomes["ok"] += 1
             snap = service.metrics_snapshot()
 
         counters = snap["counters"]
         assert outcomes["ok"] + outcomes["shed"] == len(requests)
+        # Every 16-burst against an empty max_pending=8 queue admits
+        # exactly 8 and sheds exactly 8 — deterministically.
+        assert outcomes["shed"] == len(requests) // 2
         assert counters["queries.submitted"] == len(requests)
         assert counters.get("queries.shed", 0) == outcomes["shed"]
         assert counters["queries.completed"] == outcomes["ok"]
+
+    def test_queued_deadline_expiry_on_virtual_clock(self):
+        """Deadline enforcement without sleeping: queries sit queued
+        while the virtual clock jumps past their deadline, so every one
+        of them must expire with ``queued=True`` — no wall-clock margin,
+        no flakes."""
+        index = _build_index(random.Random(9), docs=40)
+        clock = SimClock()
+        sched = SimScheduler(seed=5, clock=clock)
+        config = ServiceConfig(
+            workers=1, max_pending=8, timeout=0.05, cache_capacity=0
+        )
+        query = TopKQuery(0.5, 0.5, (DEFAULT_VOCAB[0],), k=3)
+        with QueryService(index, config, clock=clock, executor=sched) as service:
+            futures = [service.submit(query) for _ in range(4)]
+            clock.advance(0.1)  # all four are now past their deadline
+            sched.run_until_idle()
+            for future in futures:
+                with pytest.raises(QueryTimeout) as excinfo:
+                    future.result(timeout=0)
+                assert excinfo.value.queued is True
+            snap = service.metrics_snapshot()
+        assert snap["counters"]["queries.timed_out"] == 4
+        assert snap["counters"].get("queries.completed", 0) == 0
+
+    def test_virtual_scheduler_matches_sequential_results(self):
+        """The sim-scheduled service returns byte-identical answers to
+        direct index execution, whatever order the seeded scheduler
+        interleaves the worker steps in."""
+        index = _build_index(random.Random(11), docs=80)
+        requests = _mixed_workload(random.Random(12), count=60, distinct=20)
+        ranker = Ranker(UNIT_SQUARE, alpha=0.5)
+        expected = [results_as_pairs(index.query(q, ranker)) for q in requests]
+        for seed in (0, 1, 2):
+            clock = SimClock()
+            sched = SimScheduler(seed=seed, clock=clock)
+            config = ServiceConfig(workers=4, max_pending=64, cache_capacity=0)
+            with QueryService(
+                index, config, ranker=ranker, clock=clock, executor=sched
+            ) as service:
+                got = [results_as_pairs(service.search(q)) for q in requests]
+            assert got == expected

@@ -1,0 +1,214 @@
+"""Tests for the deterministic simulation harness itself.
+
+Three layers: unit tests for the simulation primitives (virtual clock,
+seeded scheduler, crash-semantics filesystem), determinism tests (same
+seed -> byte-identical run hash; different seeds -> different traces),
+and canary tests proving the harness *catches* each injected bug and
+that the shrunk repro replays to the same invariant violation.
+"""
+
+import random
+
+import pytest
+
+from repro.simtest import (
+    BUGS,
+    SimClock,
+    SimFileSystem,
+    SimScheduler,
+    SimulatedCrash,
+    generate_trace,
+    run_seed,
+    run_trace,
+    shrink_failure,
+    trace_hash,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        clock.sleep(0.5)
+        assert clock() == 2.0
+        assert clock.monotonic() == 2.0
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+
+class TestSimScheduler:
+    def test_runs_spawned_thunks_to_completion(self):
+        sched = SimScheduler(seed=1)
+        ran = []
+        for i in range(5):
+            sched.spawn(lambda i=i: ran.append(i))
+        assert sched.pending == 5
+        sched.run_until_idle()
+        assert sorted(ran) == [0, 1, 2, 3, 4]
+        assert sched.pending == 0
+
+    def test_order_is_a_function_of_the_seed(self):
+        def record(seed):
+            sched = SimScheduler(seed=seed)
+            out = []
+            for i in range(8):
+                sched.spawn(lambda i=i: out.append(i))
+            sched.run_until_idle()
+            return out
+
+        assert record(3) == record(3)
+        orders = {tuple(record(s)) for s in range(6)}
+        assert len(orders) > 1  # different seeds explore different orders
+
+    def test_run_until_predicate(self):
+        sched = SimScheduler(seed=0)
+        hits = []
+        for i in range(10):
+            sched.spawn(lambda i=i: hits.append(i))
+        sched.run_until(lambda: len(hits) >= 3)
+        assert len(hits) >= 3
+        assert sched.pending > 0  # stopped as soon as the predicate held
+
+
+class TestSimFileSystem:
+    def test_fsynced_bytes_survive_a_crash(self):
+        fs = SimFileSystem()
+        fh = fs.open("wal", "wb")
+        fh.write(b"durable")
+        fs.fsync(fh)
+        fh.write(b"-volatile")
+        fh.close()
+        fs.crash(random.Random(0))
+        data = fs.read_bytes("wal")
+        assert data.startswith(b"durable")
+
+    def test_crash_point_kills_the_writer(self):
+        fs = SimFileSystem()
+        fh = fs.open("f", "wb")
+        fs.schedule_crash(2)
+        fh.write(b"one")  # op 1: survives the arming
+        with pytest.raises(SimulatedCrash):
+            fh.write(b"two")  # op 2: dies
+        # Once dead, every later side effect dies too.
+        with pytest.raises(SimulatedCrash):
+            fh.write(b"three")
+        fs.crash(random.Random(1))
+        assert fs.unsynced_ops("f") == 0
+
+    def test_disarm_cancels_a_pending_crash(self):
+        fs = SimFileSystem()
+        fh = fs.open("f", "wb")
+        fs.schedule_crash(5)
+        fh.write(b"x")
+        fs.disarm()
+        for _ in range(10):
+            fh.write(b"y")  # would have crashed at op 5
+
+    def test_never_synced_file_can_vanish(self):
+        # With a salt that keeps a zero-length journal prefix, a file
+        # that was never fsynced disappears entirely.
+        for salt in range(50):
+            fs = SimFileSystem()
+            fh = fs.open("tmp", "wb")
+            fh.write(b"data")
+            fh.close()
+            fs.crash(random.Random(salt))
+            if not fs.exists("tmp"):
+                return
+        pytest.fail("no salt in 0..49 erased a never-synced file")
+
+    def test_torn_write_keeps_a_strict_prefix(self):
+        seen_torn = False
+        for salt in range(200):
+            fs = SimFileSystem()
+            fh = fs.open("f", "wb")
+            fh.write(b"AAAA")
+            fs.fsync(fh)
+            fh.write(b"BBBBBBBB")
+            fs.crash(random.Random(salt))
+            data = fs.read_bytes("f")
+            assert data.startswith(b"AAAA")  # fsynced prefix always holds
+            tail = data[4:]
+            assert tail in (b"", b"BBBBBBBB") or (
+                0 < len(tail) < 8 and tail == b"B" * len(tail)
+            )
+            if 0 < len(tail) < 8:
+                seen_torn = True
+        assert seen_torn  # the torn-write path actually fires
+
+    def test_replace_is_atomic_and_durable(self):
+        fs = SimFileSystem()
+        fh = fs.open("snap.tmp", "wb")
+        fh.write(b"snapshot")
+        fs.fsync(fh)
+        fh.close()
+        fs.replace("snap.tmp", "snap")
+        fs.crash(random.Random(7))
+        assert not fs.exists("snap.tmp")
+        assert fs.read_bytes("snap") == b"snapshot"
+
+
+class TestHarnessDeterminism:
+    def test_trace_generation_is_pure(self):
+        assert generate_trace(42) == generate_trace(42)
+        assert generate_trace(42) != generate_trace(43)
+
+    def test_same_seed_same_run_hash(self):
+        for seed in (0, 2, 11):
+            first = run_seed(seed)
+            second = run_seed(seed)
+            assert first.ok and second.ok
+            assert first.run_hash == second.run_hash
+
+    def test_trace_hash_covers_events(self):
+        trace = generate_trace(1)
+        assert trace_hash(trace) != trace_hash(trace, events=[{"op": "x"}])
+
+    def test_clean_seed_batch_passes_all_invariants(self):
+        failures = [
+            (seed, report.failure)
+            for seed in range(20)
+            for report in [run_seed(seed)]
+            if not report.ok
+        ]
+        assert failures == []
+
+    def test_both_modes_get_exercised(self):
+        modes = {generate_trace(seed)["mode"] for seed in range(20)}
+        assert modes == {"single", "cluster"}
+
+
+class TestCanaries:
+    """The harness must catch every bug it claims to catch — and the
+    shrunk repro must replay to the same invariant violation."""
+
+    EXPECTED_INVARIANT = {
+        "lost-wal-record": "prefix-durability",
+        "stale-cache": "cache-coherence",
+        "dropped-push": "stream-delivery",
+    }
+
+    @pytest.mark.parametrize("bug", BUGS)
+    def test_injected_bug_is_caught_and_shrinks(self, bug):
+        caught = None
+        for seed in range(40):
+            report = run_seed(seed, inject_bug=bug)
+            if not report.ok:
+                caught = report
+                break
+        assert caught is not None, f"{bug} escaped 40 seeds"
+        invariant = caught.failure.invariant
+        assert invariant == self.EXPECTED_INVARIANT[bug]
+        shrunk = shrink_failure(
+            caught.trace, invariant, inject_bug=bug, max_attempts=200
+        )
+        assert len(shrunk["steps"]) <= shrunk["shrunk_from"]
+        replay = run_trace(shrunk, inject_bug=bug)
+        assert replay.failure is not None
+        assert replay.failure.invariant == invariant
+        # Without the bug, the shrunk trace is innocent: the failure is
+        # the injected defect, not the workload.
+        assert run_trace(shrunk).ok
