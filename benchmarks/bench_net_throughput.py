@@ -1,0 +1,187 @@
+"""Network tier throughput: queries/sec vs concurrent client connections.
+
+Boots one in-process :class:`repro.net.NetServer` over a shared I3
+index and drives the same FREQ workload through 1/4/16/64 concurrent
+TCP connections (one real socket + client per thread), writing the
+machine-readable sweep to ``BENCH_net.json`` at the repository root
+(the artifact CI uploads).
+
+Latency is measured client-side — it includes framing, the socket
+round trip, admission, and dispatch — so the numbers answer "what does
+a caller of the serving tier actually see", not "how fast is the
+query engine" (``bench_service_throughput`` answers that).
+
+Shape assertions: every connection count returns byte-identical
+answers for the same request stream, and each sweep reports positive
+qps with ordered latency quantiles.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import threading
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.model.scoring import Ranker
+from repro.net import Client, NetServer, NetServerConfig
+from repro.net.protocol import results_to_wire
+from repro.service import QueryService, ServiceConfig
+from repro.storage.buffer import BufferPool
+
+CONNECTIONS = (1, 4, 16, 64)
+DATASET = "Twitter1M"
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_net.json"
+
+_results: Dict[int, dict] = {}
+_answers: Dict[int, str] = {}
+
+
+def _requests(querylog_factory, profile):
+    shapes = querylog_factory(DATASET).freq(2, count=40).queries
+    rng = random.Random(profile.seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(shapes))]
+    return rng.choices(shapes, weights=weights, k=profile.queries_per_set * 3)
+
+
+def _index_with_pool(built_factory):
+    index = built_factory("I3", DATASET).index
+    if index.data.buffer is None:
+        pool = BufferPool(index.data.file, capacity=256)
+        index.data.buffer = pool
+        index.data.slotted.store = pool
+    return index
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    pos = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[pos]
+
+
+@pytest.mark.parametrize("connections", CONNECTIONS)
+@pytest.mark.benchmark(group="net-throughput")
+def test_net_throughput(
+    benchmark, built_factory, querylog_factory, profile, connections
+):
+    index = _index_with_pool(built_factory)
+    requests = _requests(querylog_factory, profile)
+    ranker = Ranker(index.space, 0.5)
+    config = ServiceConfig(
+        workers=4,
+        max_pending=max(256, 4 * connections),
+        cache_capacity=128,
+        metrics_seed=profile.seed,
+    )
+
+    def run():
+        answers: List = [None] * len(requests)
+        latencies_ms: List[float] = []
+        lock = threading.Lock()
+        with QueryService(index, config, ranker=ranker) as service:
+            server = NetServer(
+                service,
+                config=NetServerConfig(
+                    host="127.0.0.1", port=0,
+                    max_connections=max(128, connections + 8),
+                ),
+            ).start()
+            try:
+                def worker(slot: int) -> None:
+                    mine = range(slot, len(requests), connections)
+                    local: List[float] = []
+                    with Client(server.host, server.port,
+                                deadline_ms=30_000) as client:
+                        for i in mine:
+                            t0 = time.perf_counter()
+                            result = client.search(requests[i])
+                            local.append(
+                                (time.perf_counter() - t0) * 1000.0
+                            )
+                            answers[i] = results_to_wire(result)
+                    with lock:
+                        latencies_ms.extend(local)
+
+                threads = [
+                    threading.Thread(target=worker, args=(slot,))
+                    for slot in range(connections)
+                ]
+                start = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                wall = time.perf_counter() - start
+            finally:
+                server.close()
+        return wall, latencies_ms, answers
+
+    wall, latencies_ms, answers = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert all(a is not None for a in answers)
+    ordered = sorted(latencies_ms)
+    _answers[connections] = json.dumps(answers)
+    _results[connections] = {
+        "connections": connections,
+        "queries": len(requests),
+        "wall_seconds": wall,
+        "qps": len(requests) / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": _quantile(ordered, 0.50),
+            "p95": _quantile(ordered, 0.95),
+            "p99": _quantile(ordered, 0.99),
+            "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+        },
+    }
+
+
+@pytest.mark.benchmark(group="net-throughput")
+def test_net_report(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Network tier throughput — client-observed qps and latency vs "
+        f"concurrent connections ({DATASET}, skewed FREQ_2 stream)",
+        ["connections", "qps", "p50 ms", "p95 ms", "p99 ms"],
+    )
+    for connections in CONNECTIONS:
+        if connections not in _results:
+            continue
+        row = _results[connections]
+        table.add_row(
+            connections,
+            round(row["qps"], 1),
+            round(row["latency_ms"]["p50"], 3),
+            round(row["latency_ms"]["p95"], 3),
+            round(row["latency_ms"]["p99"], 3),
+        )
+    collect(table.render())
+
+    measured = [c for c in CONNECTIONS if c in _results]
+    # Concurrency must never change answers: every connection count saw
+    # byte-identical results for the same request stream.
+    for connections in measured[1:]:
+        assert _answers[connections] == _answers[measured[0]]
+    for connections in measured:
+        row = _results[connections]
+        assert row["qps"] > 0
+        assert row["latency_ms"]["p99"] >= row["latency_ms"]["p50"] >= 0
+
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "net-throughput",
+                "dataset": DATASET,
+                "profile": profile.name,
+                "sweep": [_results[c] for c in measured],
+            },
+            indent=2,
+        )
+        + "\n"
+    )

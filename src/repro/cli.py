@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``):
     python -m repro query    --index city.i3ix --at 0.4,0.6 \
                              --words "spicy restaurant" --k 5 --semantics and
     python -m repro serve-bench --docs 2000 --queries 400 --workers 4 --json
+    python -m repro serve    --index city.i3ix --port 7070 \
+                             --tenants tenants.json --metrics-port 9100
 
 Corpora are exchanged as JSON lines, one document per line:
 
@@ -217,6 +219,109 @@ def _serve_bench_queries(index: I3Index, args: argparse.Namespace) -> List[TopKQ
     return rng.choices(shapes, weights=weights, k=args.queries)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the network serving tier until interrupted (SIGINT/SIGTERM)."""
+    import signal
+    import threading
+
+    from repro.net import (
+        MetricsHTTPServer,
+        NetServer,
+        NetServerConfig,
+        TenantDirectory,
+    )
+    from repro.service import QueryService, ServiceConfig
+
+    if args.index:
+        target = load_index(args.index)
+        space = target.space
+    elif args.durable_dir:
+        target = DurableIndex.open(args.durable_dir)
+        space = target.index.space
+    else:
+        corpus = TwitterLikeGenerator(args.docs, seed=args.seed).generate()
+        target = I3Index(corpus.space, page_size=args.page_size)
+        target.bulk_load(corpus.documents)
+        space = corpus.space
+    if args.tenants:
+        try:
+            tenants = TenantDirectory.load(args.tenants)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--tenants: {exc}")
+        roster = ", ".join(tenants.names)
+    else:
+        tenants = TenantDirectory.open()
+        roster = "(open access — no API keys configured)"
+    config = ServiceConfig(
+        workers=args.workers,
+        max_pending=max(args.max_pending, args.workers),
+        timeout=args.timeout,
+        cache_capacity=args.cache,
+        metrics_seed=args.seed,
+    )
+    stop = threading.Event()
+
+    def request_stop(signum, frame) -> None:
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, request_stop)
+    exporter = None
+    with QueryService(target, config, ranker=Ranker(space, alpha=args.alpha)) as service:
+        server = NetServer(
+            service,
+            tenants=tenants,
+            config=NetServerConfig(
+                host=args.host,
+                port=args.port,
+                max_frame=args.max_frame,
+                read_timeout=args.read_timeout,
+            ),
+        ).start()
+        try:
+            if args.metrics_port is not None:
+                exporter = MetricsHTTPServer(
+                    service.metrics.render_prometheus,
+                    host=args.host,
+                    port=args.metrics_port,
+                )
+            if args.port_file:
+                # Written only once everything is bound, so a supervisor
+                # polling this file never dials a half-started server.
+                with open(args.port_file, "w", encoding="utf-8") as fh:
+                    json.dump(
+                        {
+                            "host": server.host,
+                            "port": server.port,
+                            "metrics_port": exporter.port if exporter else None,
+                        },
+                        fh,
+                    )
+                    fh.write("\n")
+            print(
+                f"serving on {server.host}:{server.port} "
+                f"(workers={args.workers}, tenants: {roster})",
+                file=sys.stderr,
+            )
+            if exporter is not None:
+                print(f"metrics on {exporter.url}", file=sys.stderr)
+            try:
+                while not stop.is_set():
+                    stop.wait(0.2)
+            except KeyboardInterrupt:
+                pass
+            print("shutting down...", file=sys.stderr)
+        finally:
+            server.close()
+            if exporter is not None:
+                exporter.close()
+            if args.metrics_out:
+                with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                    fh.write(service.metrics.render_prometheus())
+                print(f"prometheus metrics -> {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service import QueryService, ServiceConfig
 
@@ -247,7 +352,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     ranker = Ranker(index.space, alpha=args.alpha)
     start = time.perf_counter()
     with QueryService(index, config, ranker=ranker) as service:
-        service.search_batch(queries)
+        exporter = None
+        if args.metrics_port is not None:
+            from repro.net import MetricsHTTPServer
+
+            exporter = MetricsHTTPServer(
+                service.metrics.render_prometheus, port=args.metrics_port
+            )
+            print(f"metrics on {exporter.url}", file=sys.stderr)
+        try:
+            service.search_batch(queries)
+        finally:
+            if exporter is not None:
+                exporter.close()
         elapsed = time.perf_counter() - start
         snapshot = service.metrics_snapshot()
         if args.metrics_out:
@@ -435,17 +552,33 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     with ClusterService.build(
         corpus.documents, partitioner, config, ranker=ranker
     ) as cluster:
-        kill_at = len(queries) // 2 if args.kill else None
-        for i, query in enumerate(queries):
-            if kill_at is not None and i == kill_at:
-                # Fault injection half-way: dead primaries exercise the
-                # failover path for the rest of the run.
-                for sid in range(min(args.kill, args.shards)):
-                    cluster.replica(sid, 0).kill()
-            if cluster.search(query).degraded:
-                degraded += 1
+        exporter = None
+        if args.metrics_port is not None:
+            from repro.net import MetricsHTTPServer
+
+            exporter = MetricsHTTPServer(
+                cluster.metrics.render_prometheus, port=args.metrics_port
+            )
+            print(f"metrics on {exporter.url}", file=sys.stderr)
+        try:
+            kill_at = len(queries) // 2 if args.kill else None
+            for i, query in enumerate(queries):
+                if kill_at is not None and i == kill_at:
+                    # Fault injection half-way: dead primaries exercise the
+                    # failover path for the rest of the run.
+                    for sid in range(min(args.kill, args.shards)):
+                        cluster.replica(sid, 0).kill()
+                if cluster.search(query).degraded:
+                    degraded += 1
+        finally:
+            if exporter is not None:
+                exporter.close()
         elapsed = time.perf_counter() - start
         snapshot = cluster.metrics_snapshot()
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(cluster.metrics.render_prometheus())
+            print(f"prometheus metrics -> {args.metrics_out}", file=sys.stderr)
         if args.manifest_out:
             cluster.save_manifest(args.manifest_out)
     snapshot["cluster"]["wall_seconds"] = elapsed
@@ -751,7 +884,77 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the Prometheus text exposition of the run's metrics here",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve /metrics and /healthz over HTTP on this port during "
+        "the run (0 = ephemeral)",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    server = sub.add_parser(
+        "serve",
+        help="run the network serving tier: length-prefixed JSON over TCP "
+        "with per-tenant admission (see docs/wire_protocol.md)",
+    )
+    server_source = server.add_mutually_exclusive_group()
+    server_source.add_argument("--index", help="existing .i3ix index to serve")
+    server_source.add_argument(
+        "--durable-dir", help="WAL-backed durable store directory to serve"
+    )
+    server_source.add_argument(
+        "--docs", type=int, default=2000,
+        help="size of the generated twitter-like corpus (when no --index)",
+    )
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument(
+        "--port", type=int, default=7070,
+        help="TCP port (0 = OS-chosen ephemeral; see --port-file)",
+    )
+    server.add_argument(
+        "--tenants",
+        help="tenant roster JSON ({\"tenants\": [{name, api_key, rate, "
+        "burst, ...}]}); omitted = open access",
+    )
+    server.add_argument(
+        "--port-file",
+        help="write the bound address as JSON here once ready "
+        "(supervisors and tests poll this)",
+    )
+    server.add_argument("--workers", type=int, default=4)
+    server.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="service-wide admission limit (queued + running queries)",
+    )
+    server.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-query deadline in seconds (service-side)",
+    )
+    server.add_argument(
+        "--cache", type=int, default=256,
+        help="result-cache entries (0 disables the cache)",
+    )
+    server.add_argument(
+        "--max-frame", type=int, default=1 << 20,
+        help="largest request/response frame in bytes",
+    )
+    server.add_argument(
+        "--read-timeout", type=float, default=30.0,
+        help="idle seconds before a connection is dropped",
+    )
+    server.add_argument("--alpha", type=float, default=0.5)
+    server.add_argument("--page-size", type=int, default=4096)
+    server.add_argument("--seed", type=int, default=0)
+    server.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also serve /metrics and /healthz over HTTP on this port "
+        "(0 = ephemeral; the main port answers them too)",
+    )
+    server.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the final Prometheus exposition here on shutdown",
+    )
+    server.set_defaults(func=_cmd_serve)
 
     stream = sub.add_parser(
         "stream-bench",
@@ -822,6 +1025,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard.add_argument(
         "--manifest-out", help="write the shard manifest JSON here"
+    )
+    shard.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the Prometheus text exposition of the run's metrics here",
+    )
+    shard.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve /metrics and /healthz over HTTP on this port during "
+        "the run (0 = ephemeral)",
     )
     shard.add_argument("--seed", type=int, default=0)
     shard.add_argument("--json", action="store_true", help="JSON metrics output")

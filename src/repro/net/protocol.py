@@ -1,0 +1,250 @@
+"""The wire protocol: length-prefixed JSON frames and their schemas.
+
+One frame is a 4-byte big-endian unsigned length ``N`` followed by ``N``
+bytes of UTF-8 JSON.  Both sides enforce a maximum frame size *before*
+reading the body, so a hostile or corrupt length prefix can never make a
+peer allocate unbounded memory; an oversized announcement poisons the
+stream (the reader cannot resynchronise) and closes the connection.
+
+Requests and responses are plain JSON objects:
+
+    {"v": 1, "op": "query", "key": "...", "deadline_ms": 1500,
+     "args": {"x": 0.4, "y": 0.6, "words": ["cafe"], "k": 10,
+              "semantics": "or"}}
+
+    {"ok": true, "result": [[doc_id, score], ...]}
+    {"ok": false, "error": {"code": "overloaded", "message": "...",
+                            "retryable": true}}
+
+Scores travel as JSON numbers.  Python's ``json`` emits the shortest
+round-tripping ``repr`` of a float and parses it back to the *same*
+IEEE-754 double, so results that cross the wire compare byte-identical
+to in-process answers — the property the equivalence suites assert.
+
+Everything here is transport-agnostic: the same functions frame bytes
+for real sockets (:mod:`repro.net.server`, :mod:`repro.net.client`) and
+for the deterministic in-memory transport (:mod:`repro.net.sim`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.model.query import Semantics, TopKQuery
+from repro.model.results import ScoredDoc
+from repro.net.errors import ConnectionLost, FrameTooLarge, ProtocolError
+
+__all__ = [
+    "FrameAssembler",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "decode_payload",
+    "error_response",
+    "ok_response",
+    "query_from_args",
+    "query_to_args",
+    "read_frame",
+    "recv_exact",
+    "results_from_wire",
+    "results_to_wire",
+]
+
+PROTOCOL_VERSION = 1
+
+# Default ceiling on one frame's JSON body.  Generous for any top-k
+# response (a 400-result state probe is ~12 KB) while bounding what one
+# connection can make the peer buffer.
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct("!I")
+HEADER_BYTES = _HEADER.size
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+def encode_frame(payload: Dict, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialise one payload to a length-prefixed frame.
+
+    Raises :class:`FrameTooLarge` instead of emitting a frame the peer
+    would be entitled to reject.
+    """
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame:
+        raise FrameTooLarge(
+            f"frame body is {len(body)} bytes, limit {max_frame}"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Dict:
+    """Parse one frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def recv_exact(recv: Callable[[int], bytes], n: int) -> bytes:
+    """Read exactly ``n`` bytes from ``recv`` (a ``socket.recv``-shaped
+    callable).  Raises :class:`ConnectionLost` if the stream ends first —
+    a frame boundary is the only clean place for EOF."""
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = recv(remaining)
+        if not chunk:
+            raise ConnectionLost(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    recv: Callable[[int], bytes], max_frame: int = MAX_FRAME_BYTES
+) -> Optional[Dict]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`FrameTooLarge` when the announced length exceeds
+    ``max_frame`` (without reading the body) and :class:`ConnectionLost`
+    on EOF inside a frame.
+    """
+    first = recv(HEADER_BYTES)
+    if not first:
+        return None
+    header = first
+    if len(header) < HEADER_BYTES:
+        header += recv_exact(recv, HEADER_BYTES - len(header))
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLarge(
+            f"peer announced a {length}-byte frame, limit {max_frame}"
+        )
+    return decode_payload(recv_exact(recv, length))
+
+
+class FrameAssembler:
+    """Incremental frame extraction for push-style transports.
+
+    The simulated network delivers bytes in arbitrary chunks; ``feed``
+    buffers them and returns every completed payload.  The same
+    size-limit contract applies: an oversized announcement raises
+    :class:`FrameTooLarge` immediately.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max_frame = max_frame
+
+    def feed(self, data: bytes) -> List[Dict]:
+        self._buffer.extend(data)
+        payloads: List[Dict] = []
+        while len(self._buffer) >= HEADER_BYTES:
+            (length,) = _HEADER.unpack(self._buffer[:HEADER_BYTES])
+            if length > self._max_frame:
+                raise FrameTooLarge(
+                    f"peer announced a {length}-byte frame, "
+                    f"limit {self._max_frame}"
+                )
+            if len(self._buffer) < HEADER_BYTES + length:
+                break
+            body = bytes(self._buffer[HEADER_BYTES:HEADER_BYTES + length])
+            del self._buffer[:HEADER_BYTES + length]
+            payloads.append(decode_payload(body))
+        return payloads
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# Request/response payloads
+# ---------------------------------------------------------------------------
+def ok_response(result) -> Dict:
+    return {"ok": True, "result": result}
+
+
+def error_response(error) -> Dict:
+    """The response payload for a :class:`~repro.net.errors.NetError`."""
+    return {"ok": False, "error": error.payload()}
+
+
+def query_to_args(query: TopKQuery) -> Dict:
+    """The wire form of a top-k query."""
+    return {
+        "x": query.x,
+        "y": query.y,
+        "words": list(query.words),
+        "k": query.k,
+        "semantics": query.semantics.value,
+    }
+
+
+def query_from_args(args: Dict) -> TopKQuery:
+    """Parse and validate a wire query; schema violations raise
+    :class:`ProtocolError` (mapped to ``bad_request`` on the wire)."""
+    if not isinstance(args, dict):
+        raise ProtocolError("query args must be an object")
+    try:
+        x = float(args["x"])
+        y = float(args["y"])
+        words = args["words"]
+        k = int(args.get("k", 10))
+        semantics = str(args.get("semantics", "or"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed query args: {exc}") from None
+    if not (math.isfinite(x) and math.isfinite(y)):
+        # Python's json module emits NaN/Infinity by default; scoring
+        # against them silently poisons every comparison, so refuse.
+        raise ProtocolError(f"query location must be finite, got ({x}, {y})")
+    if not isinstance(words, list) or not all(
+        isinstance(w, str) for w in words
+    ):
+        raise ProtocolError("query words must be a list of strings")
+    if semantics not in ("and", "or"):
+        raise ProtocolError(f"unknown semantics {semantics!r}")
+    try:
+        return TopKQuery(
+            x,
+            y,
+            tuple(words),
+            k=k,
+            semantics=Semantics.AND if semantics == "and" else Semantics.OR,
+        )
+    except ValueError as exc:  # empty words, k <= 0
+        raise ProtocolError(str(exc)) from None
+
+
+def results_to_wire(results) -> List[List]:
+    """Scored results as ``[doc_id, score]`` pairs, best first."""
+    return [[r.doc_id, r.score] for r in results]
+
+
+def results_from_wire(pairs) -> List[ScoredDoc]:
+    """Decode ``[doc_id, score]`` pairs back to :class:`ScoredDoc`.
+
+    JSON round-trips floats via shortest-repr, so the decoded objects
+    compare **equal** to the server's in-process answer — the property
+    the wire-equivalence suite pins down.
+    """
+    if not isinstance(pairs, list):
+        raise ProtocolError("results must be a list")
+    decoded = []
+    for pair in pairs:
+        if not isinstance(pair, list) or len(pair) != 2:
+            raise ProtocolError(f"malformed result pair: {pair!r}")
+        decoded.append(ScoredDoc(float(pair[1]), int(pair[0])))
+    return decoded

@@ -1,0 +1,181 @@
+"""The simulated network seam: scripted faults, virtual time, zero sockets.
+
+The deterministic simulation harness cannot open real sockets (real I/O
+means real time and real nondeterminism), but the ISSUE-level claim it
+must check is about the *real* request pipeline: faults on the wire may
+produce errors or retries, never wrong answers.  So this module runs
+the genuine :class:`~repro.net.server.ConnectionCore` — the exact
+dispatch/auth/admission/deadline code the TCP front end runs — over an
+in-memory transport whose failures are **scripted in the trace step**
+rather than drawn from ambient randomness.
+
+Fault vocabulary (one per connection attempt, consumed in order; an
+exhausted script means healthy attempts forever):
+
+- ``"ok"`` — the attempt succeeds.
+- ``"drop"`` — the connect itself is refused.
+- ``"reset_send"`` — the connection dies before the request is sent;
+  the server never sees it.
+- ``"reset_recv"`` — the server executes the request but the response
+  is lost and the connection resets: the at-least-once case, safe for
+  the read-only queries the fuzzer sends.
+- ``"truncate_response"`` — the response is cut mid-frame (a torn
+  frame must surface as :class:`~repro.net.errors.ConnectionLost`,
+  never as a short result list).
+- ``"delay"`` — virtual time passes before the response arrives.
+
+Every part of a run is a pure function of the trace: the client sleeps
+on the :class:`~repro.simtest.clock.SimClock`, the server stamps
+latencies from the same clock, and the transport introduces no
+randomness of its own.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from repro.net.client import Client
+from repro.net.errors import ConnectionLost
+from repro.net.protocol import MAX_FRAME_BYTES, FrameAssembler, encode_frame
+from repro.net.server import ConnectionCore, ServiceBackend
+from repro.net.tenants import TenantDirectory
+from repro.service.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # imported lazily: repro.simtest.harness imports us
+    from repro.simtest.clock import SimClock
+
+__all__ = ["FAULTS", "SimNetServer", "SimTransport", "sim_client"]
+
+FAULTS = ("ok", "drop", "reset_send", "reset_recv", "truncate_response", "delay")
+
+_DELAY_S = 0.017  # virtual seconds a "delay" fault adds before the response
+
+
+class SimNetServer:
+    """A :class:`ConnectionCore`-compatible server without sockets.
+
+    Quacks exactly like :class:`~repro.net.server.NetServer` for the
+    request path — ``backend``, ``tenants``, ``metrics``, ``clock``,
+    ``closed``, ``health()`` — so the core runs unmodified.  The
+    harness builds one over its simulated :class:`QueryService` and
+    dials it through :func:`sim_client`.
+    """
+
+    def __init__(
+        self,
+        target,
+        clock: SimClock,
+        tenants: Optional[TenantDirectory] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.backend = (
+            target if isinstance(target, ServiceBackend)
+            else ServiceBackend(target)
+        )
+        self.clock = clock
+        self.tenants = (
+            tenants if tenants is not None
+            else TenantDirectory.open(clock=clock)
+        )
+        self.metrics = (
+            metrics if metrics is not None else self.backend.metrics
+        )
+        self.max_frame = max_frame
+        self.closed = False
+
+    def health(self) -> Dict:
+        return {"status": "closing" if self.closed else "ok", "sim": True}
+
+
+class SimTransport:
+    """One in-memory connection: client bytes in, response bytes out.
+
+    Implements the client transport contract (``sendall`` / ``recv`` /
+    ``close``).  Requests are answered synchronously — by the time
+    ``sendall`` returns, the full response (or its scripted mutilation)
+    sits in the read buffer.
+    """
+
+    def __init__(self, server: SimNetServer, fault: str = "ok") -> None:
+        if fault not in FAULTS:
+            raise ValueError(f"unknown fault {fault!r}; choose from {FAULTS}")
+        self._server = server
+        self._fault = fault
+        self._core = ConnectionCore(server)
+        self._assembler = FrameAssembler(server.max_frame)
+        self._buffer = bytearray()
+        self._broken = False
+        self._closed = False
+
+    def sendall(self, data: bytes) -> None:
+        if self._broken or self._closed:
+            raise ConnectionResetError("simulated connection is gone")
+        if self._fault == "reset_send":
+            # Dies before any byte reaches the server: the request was
+            # never executed, so a retry is trivially safe.
+            self._broken = True
+            raise ConnectionResetError("simulated reset before send")
+        for payload in self._assembler.feed(data):
+            if self._fault == "delay":
+                self._server.clock.advance(_DELAY_S)
+            response = encode_frame(
+                self._core.handle(payload), self._server.max_frame
+            )
+            if self._fault == "reset_recv":
+                # Executed server-side, response lost on the way back.
+                self._broken = True
+                return
+            if self._fault == "truncate_response":
+                self._buffer.extend(response[: max(1, len(response) // 2)])
+                self._closed = True  # EOF mid-frame after the fragment
+                return
+            self._buffer.extend(response)
+
+    def recv(self, n: int) -> bytes:
+        if self._buffer:
+            take = bytes(self._buffer[:n])
+            del self._buffer[:n]
+            return take
+        if self._broken:
+            raise ConnectionResetError("simulated reset")
+        return b""  # clean EOF (closed or nothing outstanding)
+
+    def close(self) -> None:
+        self._closed = True
+        self._core.close()
+
+
+def sim_client(
+    server: SimNetServer,
+    key: Optional[str] = None,
+    faults: Sequence[str] = (),
+    clock: Optional[SimClock] = None,
+    **kwargs,
+) -> Client:
+    """A :class:`Client` wired to ``server`` through scripted faults.
+
+    ``faults[i]`` afflicts the client's *i*-th connection attempt; once
+    the script runs out, connections are healthy.  ``retries`` defaults
+    to the script length so a script ending in ``"ok"`` is guaranteed
+    to converge.  The client's clock and sleeper are the simulation's —
+    backoff passes virtual time only.
+    """
+    clk = clock if clock is not None else server.clock
+    script: List[str] = list(faults)
+
+    def connect() -> SimTransport:
+        fault = script.pop(0) if script else "ok"
+        if fault == "drop":
+            raise ConnectionLost("simulated connect refused")
+        return SimTransport(server, fault)
+
+    kwargs.setdefault("retries", max(2, len(faults)))
+    kwargs.setdefault("backoff_s", 0.001)
+    return Client(
+        key=key,
+        connect_factory=connect,
+        clock=clk,
+        sleeper=clk.sleep,
+        **kwargs,
+    )

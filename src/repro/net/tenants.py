@@ -1,0 +1,306 @@
+"""Multi-tenant admission: API keys, quotas, and per-tenant gating.
+
+A serving tier shared by many tenants needs two protections the
+in-process :class:`~repro.service.admission.AdmissionController` alone
+does not give:
+
+* **identity** — every request carries an API key; unknown keys are
+  refused before any work happens;
+* **isolation** — one tenant's burst must shed *that tenant's* traffic,
+  not everyone's.  Each tenant gets its own
+  :class:`TenantAdmissionController`: a token-bucket rate limit
+  (sustained ``rate`` requests/second with ``burst`` headroom) stacked
+  on the inherited bounded-pending gate, so both over-rate and
+  over-concurrency traffic is shed per tenant with a typed reason.
+
+Tenant rosters load from a JSON config file::
+
+    {"tenants": [
+        {"name": "acme", "api_key": "acme-key", "rate": 100.0,
+         "burst": 20, "max_pending": 16, "allow_writes": true},
+        {"name": "trial", "api_key": "trial-key", "rate": 0.5}
+    ]}
+
+``rate: null`` (or omitted) means unlimited sustained rate; ``rate: 0``
+means a zero quota — every request is shed (a disabled key that still
+authenticates, useful for drained tenants).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.service.admission import AdmissionController
+
+__all__ = [
+    "TenantAdmissionController",
+    "TenantDirectory",
+    "TenantQuota",
+]
+
+REJECT_QUOTA = "quota"
+REJECT_PENDING = "pending"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's identity and limits.
+
+    Attributes:
+        name: Tenant label (appears in metric labels and logs).
+        api_key: The shared secret presented on every request.
+        rate: Sustained requests/second; ``None`` = unlimited, ``0`` =
+            zero quota (always shed).
+        burst: Token-bucket depth — requests admitted back-to-back
+            before the sustained rate applies.  Defaults to ``rate``
+            rounded up (at least 1) when a rate is set.
+        max_pending: Per-tenant cap on admitted-but-unfinished requests.
+        allow_writes: Whether insert/delete ops are permitted.
+    """
+
+    name: str
+    api_key: str
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    max_pending: int = 32
+    allow_writes: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not self.api_key:
+            raise ValueError(f"tenant {self.name!r} needs an api_key")
+        if self.rate is not None and self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.burst is not None and self.burst < 0:
+            raise ValueError(f"burst must be >= 0, got {self.burst}")
+        if self.max_pending <= 0:
+            raise ValueError(
+                f"max_pending must be positive, got {self.max_pending}"
+            )
+
+    @property
+    def effective_burst(self) -> float:
+        """The bucket depth actually used (see ``burst``)."""
+        if self.burst is not None:
+            return self.burst
+        if self.rate is None:
+            return float("inf")
+        if self.rate == 0:
+            return 0.0  # zero quota: no tokens, ever
+        return max(1.0, float(int(self.rate + 0.999999)))
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "TenantQuota":
+        known = {
+            "name", "api_key", "rate", "burst", "max_pending", "allow_writes",
+        }
+        unknown = set(record) - known
+        if unknown:
+            raise ValueError(
+                f"unknown tenant config keys: {sorted(unknown)}"
+            )
+        try:
+            return cls(**record)
+        except TypeError as exc:
+            raise ValueError(f"bad tenant record: {exc}") from None
+
+
+class TenantAdmissionController(AdmissionController):
+    """Per-tenant gate: token-bucket rate limiting over the inherited
+    bounded-pending admission.
+
+    :meth:`try_admit` is the network tier's entry point.  It refunds the
+    bucket token when the pending gate refuses, so an over-concurrency
+    shed never also burns rate quota.  ``clock`` is injectable (the
+    simulation harness passes a :class:`~repro.simtest.SimClock`).
+    """
+
+    def __init__(
+        self,
+        quota: TenantQuota,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(limit=quota.max_pending)
+        self.quota = quota
+        self._clock = clock if clock is not None else time.monotonic
+        self._bucket_lock = threading.Lock()
+        self._tokens = quota.effective_burst
+        self._refilled = self._clock()
+        self.rejected_quota = 0
+        self.rejected_pending = 0
+
+    def _take_token(self) -> bool:
+        if self.quota.rate is None:
+            return True
+        with self._bucket_lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._refilled)
+            self._refilled = now
+            self._tokens = min(
+                self.quota.effective_burst,
+                self._tokens + elapsed * self.quota.rate,
+            )
+            if self._tokens < 1.0:
+                return False
+            self._tokens -= 1.0
+            return True
+
+    def _refund_token(self) -> None:
+        if self.quota.rate is None:
+            return
+        with self._bucket_lock:
+            self._tokens = min(
+                self.quota.effective_burst, self._tokens + 1.0
+            )
+
+    def try_admit(self) -> Optional[str]:
+        """Admit one request, or name why not.
+
+        Returns ``None`` on admission (pair with :meth:`release`),
+        ``"quota"`` when the rate bucket is empty, ``"pending"`` when
+        the tenant's concurrency cap is reached.
+        """
+        if not self._take_token():
+            with self._bucket_lock:
+                self.rejected_quota += 1
+            return REJECT_QUOTA
+        if not self.try_acquire():
+            self._refund_token()
+            with self._bucket_lock:
+                self.rejected_pending += 1
+            return REJECT_PENDING
+        return None
+
+    def retry_after_s(self) -> float:
+        """How long until the bucket holds one token again (0 when the
+        shed was concurrency-, not rate-, driven)."""
+        if self.quota.rate is None or self.quota.rate == 0:
+            return 0.0
+        with self._bucket_lock:
+            missing = max(0.0, 1.0 - self._tokens)
+        return missing / self.quota.rate
+
+    @property
+    def tokens(self) -> float:
+        """The bucket's current depth (refilled lazily; test hook)."""
+        if self.quota.rate is None:
+            return float("inf")
+        with self._bucket_lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._refilled)
+            self._refilled = now
+            self._tokens = min(
+                self.quota.effective_burst,
+                self._tokens + elapsed * self.quota.rate,
+            )
+            return self._tokens
+
+    def snapshot(self) -> Dict:
+        """Counters and levels for :func:`metrics_snapshot` surfacing."""
+        base = super().snapshot()
+        with self._bucket_lock:
+            base.update(
+                tenant=self.quota.name,
+                rate=self.quota.rate,
+                burst=(
+                    None
+                    if self.quota.rate is None
+                    else self.quota.effective_burst
+                ),
+                rejected_quota=self.rejected_quota,
+                rejected_pending=self.rejected_pending,
+            )
+        return base
+
+
+class TenantDirectory:
+    """The tenant roster: API-key lookup plus per-tenant controllers.
+
+    With ``open_access`` (no roster configured) every key — including a
+    missing one — maps to a single unlimited ``"default"`` tenant, so a
+    development server needs no config file.
+    """
+
+    DEFAULT = TenantQuota(name="default", api_key="-")
+
+    def __init__(
+        self,
+        quotas: Iterable[TenantQuota] = (),
+        clock: Optional[Callable[[], float]] = None,
+        open_access: bool = False,
+    ) -> None:
+        self._clock = clock
+        self.open_access = open_access
+        self._by_key: Dict[str, TenantAdmissionController] = {}
+        self._by_name: Dict[str, TenantAdmissionController] = {}
+        for quota in quotas:
+            if quota.api_key in self._by_key:
+                raise ValueError(
+                    f"duplicate api_key for tenant {quota.name!r}"
+                )
+            if quota.name in self._by_name:
+                raise ValueError(f"duplicate tenant name {quota.name!r}")
+            controller = TenantAdmissionController(quota, clock=clock)
+            self._by_key[quota.api_key] = controller
+            self._by_name[quota.name] = controller
+        if open_access and "default" not in self._by_name:
+            controller = TenantAdmissionController(self.DEFAULT, clock=clock)
+            self._by_name["default"] = controller
+        if not open_access and not self._by_key:
+            raise ValueError(
+                "a closed tenant directory needs at least one tenant "
+                "(use open_access=True for an unauthenticated server)"
+            )
+
+    @classmethod
+    def open(cls, clock=None) -> "TenantDirectory":
+        """An unauthenticated directory: every caller is ``default``."""
+        return cls((), clock=clock, open_access=True)
+
+    @classmethod
+    def from_dict(cls, config: Dict, clock=None) -> "TenantDirectory":
+        records = config.get("tenants")
+        if not isinstance(records, list) or not records:
+            raise ValueError(
+                'tenant config must contain a non-empty "tenants" list'
+            )
+        return cls(
+            [TenantQuota.from_dict(r) for r in records], clock=clock
+        )
+
+    @classmethod
+    def load(cls, path: str, clock=None) -> "TenantDirectory":
+        """Load the roster from a JSON config file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                config = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: invalid JSON: {exc}") from None
+        return cls.from_dict(config, clock=clock)
+
+    def authenticate(
+        self, api_key: Optional[str]
+    ) -> Optional[TenantAdmissionController]:
+        """The controller for ``api_key``, or ``None`` (unauthorized)."""
+        if self.open_access:
+            return self._by_name["default"]
+        if api_key is None:
+            return None
+        return self._by_key.get(api_key)
+
+    def tenant(self, name: str) -> TenantAdmissionController:
+        """Lookup by tenant name (metrics/test hook)."""
+        return self._by_name[name]
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def snapshot(self) -> List[Dict]:
+        """Every tenant's admission state, name-sorted."""
+        return [self._by_name[name].snapshot() for name in self.names]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Optional
+from typing import Dict, Optional
 
 __all__ = ["AdmissionController"]
 
@@ -36,13 +36,17 @@ class AdmissionController:
         self.limit = limit
         self._cond = threading.Condition()
         self._pending = 0
+        self._admitted = 0
+        self._rejected = 0
 
     def try_acquire(self) -> bool:
         """Admit one task if under the limit; False means *shed*."""
         with self._cond:
             if self._pending >= self.limit:
+                self._rejected += 1
                 return False
             self._pending += 1
+            self._admitted += 1
             return True
 
     def acquire(self, timeout: Optional[float] = None) -> bool:
@@ -59,8 +63,10 @@ class AdmissionController:
             if not self._cond.wait_for(
                 lambda: self._pending < self.limit, timeout=timeout
             ):
+                self._rejected += 1
                 return False
             self._pending += 1
+            self._admitted += 1
             return True
 
     def release(self) -> None:
@@ -76,3 +82,27 @@ class AdmissionController:
         """Currently admitted, unfinished tasks."""
         with self._cond:
             return self._pending
+
+    @property
+    def admitted(self) -> int:
+        """Total tasks ever admitted (lifetime counter)."""
+        with self._cond:
+            return self._admitted
+
+    @property
+    def rejected(self) -> int:
+        """Total admissions refused — failed ``try_acquire`` calls plus
+        ``acquire`` timeouts (lifetime counter)."""
+        with self._cond:
+            return self._rejected
+
+    def snapshot(self) -> Dict:
+        """The gate's state and lifetime counters, as one plain dict
+        (surfaced by ``QueryService.metrics_snapshot``)."""
+        with self._cond:
+            return {
+                "pending": self._pending,
+                "limit": self.limit,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+            }

@@ -25,9 +25,15 @@ import json
 import random
 import re
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["MetricCounter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "MetricCounter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_label_value",
+]
 
 
 class MetricCounter:
@@ -170,12 +176,41 @@ class Histogram:
         }
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules:
+    backslash, double quote and newline must be escaped inside the
+    quoted value (tenant names are caller-supplied strings)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labeled_key(name: str, labels: Optional[Dict[str, str]]) -> str:
+    """The registry key of a (name, labels) pair — the flat display form
+    ``name{k="v",...}`` with label values escaped and keys sorted, so
+    the same label set always maps to the same metric instance."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{escape_label_value(labels[key])}"'
+        for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
 class MetricsRegistry:
     """Named metrics, created on first use, exported as one dict.
 
     Names are dotted strings (``"queries.completed"``); the export
     groups metrics by kind so consumers need no schema knowledge beyond
-    the three metric shapes.
+    the three metric shapes.  Metrics may carry **labels** (the
+    multi-tenant serving tier labels per-tenant traffic
+    ``{tenant="..."}``): label variants share one family — one
+    ``# HELP``/``# TYPE`` header in the Prometheus exposition — and
+    appear in :meth:`as_dict` under their flat ``name{k="v"}`` key.
     """
 
     def __init__(self, histogram_reservoir: int = 1024, seed: Optional[int] = None) -> None:
@@ -185,29 +220,69 @@ class MetricsRegistry:
         self._counters: Dict[str, MetricCounter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # key -> (family name, {label: value}); families without labels
+        # are implicit (key == family, no entry needed).
+        self._families: Dict[str, Tuple[str, Dict[str, str]]] = {}
+        self._help: Dict[str, str] = {}
 
-    def counter(self, name: str) -> MetricCounter:
-        """The counter called ``name``, created if absent."""
+    def _register(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]],
+        help_text: Optional[str],
+    ) -> str:
+        key = _labeled_key(name, labels)
+        if labels:
+            self._families[key] = (name, dict(labels))
+        if help_text is not None and name not in self._help:
+            self._help[name] = help_text
+        return key
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach ``# HELP`` text to the metric family ``name``."""
         with self._lock:
-            metric = self._counters.get(name)
+            self._help[name] = help_text
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        help_text: Optional[str] = None,
+    ) -> MetricCounter:
+        """The counter called ``name`` (with ``labels``), created if absent."""
+        with self._lock:
+            key = self._register(name, labels, help_text)
+            metric = self._counters.get(key)
             if metric is None:
-                metric = self._counters[name] = MetricCounter()
+                metric = self._counters[key] = MetricCounter()
             return metric
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge called ``name``, created if absent."""
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        help_text: Optional[str] = None,
+    ) -> Gauge:
+        """The gauge called ``name`` (with ``labels``), created if absent."""
         with self._lock:
-            metric = self._gauges.get(name)
+            key = self._register(name, labels, help_text)
+            metric = self._gauges.get(key)
             if metric is None:
-                metric = self._gauges[name] = Gauge()
+                metric = self._gauges[key] = Gauge()
             return metric
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram called ``name``, created if absent."""
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        help_text: Optional[str] = None,
+    ) -> Histogram:
+        """The histogram called ``name`` (with ``labels``), created if absent."""
         with self._lock:
-            metric = self._histograms.get(name)
+            key = self._register(name, labels, help_text)
+            metric = self._histograms.get(key)
             if metric is None:
-                metric = self._histograms[name] = Histogram(
+                metric = self._histograms[key] = Histogram(
                     self._histogram_reservoir, seed=self._seed
                 )
             return metric
@@ -230,6 +305,11 @@ class MetricsRegistry:
         """The :meth:`as_dict` export serialised as JSON."""
         return json.dumps(self.as_dict(), indent=indent)
 
+    def _family_of(self, key: str) -> Tuple[str, Dict[str, str]]:
+        with self._lock:
+            family = self._families.get(key)
+        return family if family is not None else (key, {})
+
     def render_prometheus(self, prefix: str = "repro") -> str:
         """The Prometheus text exposition of every metric.
 
@@ -237,38 +317,79 @@ class MetricsRegistry:
         (``queries.completed`` -> ``repro_queries_completed``); counters
         and gauges render as single samples, histograms as summaries —
         ``{quantile="..."}``-labelled p50/p95/p99 samples plus the
-        conventional ``_sum`` and ``_count`` series.  Output is grouped
-        by kind, name-sorted within each group, ends with a newline and
-        is stable for a given metric state — suitable both for an
-        exporter endpoint and for golden tests.
+        conventional ``_sum`` and ``_count`` series.  Labelled metrics
+        render with escaped label values and share their family's
+        ``# HELP``/``# TYPE`` header (emitted once per family).  Output
+        is grouped by kind, family-sorted within each group, ends with a
+        newline and is stable for a given metric state — suitable both
+        for an exporter endpoint and for golden tests.
         """
         snapshot = self.as_dict()
+        with self._lock:
+            help_texts = dict(self._help)
+
+        def sanitize(name: str) -> str:
+            return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
 
         def sample(name: str) -> str:
-            cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
-            return f"{prefix}_{cleaned}"
+            return f"{prefix}_{sanitize(name)}"
 
         def fmt(value: float) -> str:
             if isinstance(value, float) and value.is_integer():
                 return str(int(value))
             return repr(value)
 
+        def label_str(labels: Dict[str, str], extra: str = "") -> str:
+            parts = [
+                f'{sanitize(key)}="{escape_label_value(labels[key])}"'
+                for key in sorted(labels)
+            ]
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        def group(items: Dict) -> List[Tuple[str, List[Tuple[Dict, object]]]]:
+            """(family, [(labels, value)...]) pairs, family-sorted; the
+            per-family list keeps as_dict's key order (label-sorted)."""
+            families: Dict[str, List[Tuple[Dict, object]]] = {}
+            for key, value in items.items():
+                base, labels = self._family_of(key)
+                families.setdefault(base, []).append((labels, value))
+            return sorted(families.items())
+
         lines: List[str] = []
-        for name, value in snapshot["counters"].items():
-            metric = sample(name)
-            lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {fmt(value)}")
-        for name, value in snapshot["gauges"].items():
-            metric = sample(name)
-            lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {fmt(value)}")
-        for name, summary in snapshot["histograms"].items():
-            metric = sample(name)
-            lines.append(f"# TYPE {metric} summary")
-            for label, quantile in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+
+        def header(base: str, kind: str) -> str:
+            metric = sample(base)
+            lines.append(
+                f"# HELP {metric} {help_texts.get(base, base)}"
+            )
+            lines.append(f"# TYPE {metric} {kind}")
+            return metric
+
+        for base, variants in group(snapshot["counters"]):
+            metric = header(base, "counter")
+            for labels, value in variants:
+                lines.append(f"{metric}{label_str(labels)} {fmt(value)}")
+        for base, variants in group(snapshot["gauges"]):
+            metric = header(base, "gauge")
+            for labels, value in variants:
+                lines.append(f"{metric}{label_str(labels)} {fmt(value)}")
+        for base, variants in group(snapshot["histograms"]):
+            metric = header(base, "summary")
+            for labels, summary in variants:
+                for q, quantile in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                    quantile_label = 'quantile="%s"' % q
+                    lines.append(
+                        f"{metric}{label_str(labels, quantile_label)} "
+                        f"{fmt(summary[quantile])}"
+                    )
                 lines.append(
-                    f'{metric}{{quantile="{label}"}} {fmt(summary[quantile])}'
+                    f"{metric}_sum{label_str(labels)} "
+                    f"{fmt(summary['mean'] * summary['count'])}"
                 )
-            lines.append(f"{metric}_sum {fmt(summary['mean'] * summary['count'])}")
-            lines.append(f"{metric}_count {fmt(float(summary['count']))}")
+                lines.append(
+                    f"{metric}_count{label_str(labels)} "
+                    f"{fmt(float(summary['count']))}"
+                )
         return "\n".join(lines) + "\n"

@@ -553,6 +553,7 @@ class QueryService:
             "qps": completed / uptime if uptime > 0 else 0.0,
             "closed": self._closed,
         }
+        snapshot["admission"] = self._admission.snapshot()
         if self.cache is not None:
             snapshot["cache"] = self.cache.stats()
         pool = self._index.data.buffer

@@ -29,6 +29,10 @@ Invariants checked (named for shrinking identity):
   windows where the bounded queue legitimately dropped updates).
 * ``cluster-degraded`` — with a full replica set (even during a
   single-replica outage) no scatter-gather answer is degraded.
+* ``net-equivalence`` — queries issued through the simulated network
+  tier (real :class:`~repro.net.server.ConnectionCore`, scripted
+  connection faults, virtual-time retries) return exactly the model's
+  top-k: wire trouble may cost retries, never correctness.
 * ``unhandled-exception`` — nothing under test raised unexpectedly.
 
 The three ``inject_bug`` hooks flip known-bad behaviours so CI can
@@ -48,6 +52,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.partition import HashPartitioner
 from repro.cluster.service import ClusterConfig, ClusterService
+from repro.net.sim import SimNetServer, sim_client
+from repro.net.tenants import TenantDirectory
 from repro.core.index import I3Index
 from repro.core.recovery import DurableIndex
 from repro.model.query import TopKQuery
@@ -199,6 +205,17 @@ class _Simulation:
                 emit(sq)
 
             matcher._emit = lossy_emit
+        # The network seam: the production ConnectionCore over the sim
+        # clock, dialled through a fault-scripted in-memory transport.
+        self.net = SimNetServer(
+            self.service,
+            clock=self.clock,
+            tenants=TenantDirectory.from_dict(
+                {"tenants": [{"name": "sim", "api_key": "sim-key",
+                              "rate": None, "max_pending": 64}]},
+                clock=self.clock,
+            ),
+        )
         self.cluster = None
         # Subscriber-side state.
         self.subs: Dict[str, Any] = {}
@@ -338,6 +355,7 @@ class _Simulation:
             "delete": self._do_mutation,
             "update": self._do_mutation,
             "query": self._do_query,
+            "net_query": self._do_net_query,
             "checkpoint": lambda step: self.service.checkpoint(),
             "crash": self._do_crash,
             "register": self._do_register,
@@ -421,6 +439,25 @@ class _Simulation:
                 f"query {step['query']} returned {got}, model says {expected}",
             )
         self.events.append({"op": "query", "results": got})
+
+    def _do_net_query(self, step: Dict) -> None:
+        query = query_from_dict(step["query"])
+        faults = list(step.get("faults", ()))
+        client = sim_client(self.net, key="sim-key", faults=faults)
+        try:
+            got = result_pairs(client.search(query))
+        finally:
+            client.close()
+        expected = self.oracle.topk_pairs(query)
+        if got != expected:
+            raise InvariantViolation(
+                "net-equivalence",
+                f"query {step['query']} over the wire (faults {faults}) "
+                f"returned {got}, model says {expected}",
+            )
+        self.events.append(
+            {"op": "net_query", "results": got, "faults": faults}
+        )
 
     def _do_crash(self, step: Dict) -> None:
         if step["after_ops"] is not None:

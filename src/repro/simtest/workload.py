@@ -194,6 +194,19 @@ def _single_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
         new = _rand_doc(rng, doc_id)
         return {"op": "update", "doc_id": doc_id, "new": new}
 
+    def net_faults() -> List[str]:
+        """The connection-fault script of one net_query step.
+
+        Self-contained like every other step: the faults are drawn at
+        generation time and embedded, so replay and shrinking never
+        consult a live RNG.  The script always ends in "ok" — the point
+        is that faults may only cost retries, so the step must converge.
+        """
+        n = rng.choice([0, 0, 0, 1, 1, 2])
+        pool = ["reset_send", "reset_recv", "truncate_response",
+                "drop", "delay"]
+        return [rng.choice(pool) for _ in range(n)] + ["ok"]
+
     trace_steps: List[Dict] = []
     # Standing queries go in early so most of the run exercises them.
     for sub in subscribers:
@@ -208,8 +221,14 @@ def _single_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
         roll = rng.random()
         if roll < 0.40:
             trace_steps.append(mutation_step())
-        elif roll < 0.65:
+        elif roll < 0.55:
             trace_steps.append({"op": "query", "query": pool.next()})
+        elif roll < 0.65:
+            trace_steps.append({
+                "op": "net_query",
+                "query": pool.next(),
+                "faults": net_faults(),
+            })
         elif roll < 0.70:
             trace_steps.append({"op": "checkpoint"})
         elif roll < 0.78:

@@ -28,4 +28,4 @@ def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "restaurant_finder", "tweet_stream",
             "index_comparison", "city_guide", "concurrent_search",
-            "sharded_search"} <= names
+            "sharded_search", "network_search"} <= names

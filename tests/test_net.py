@@ -1,0 +1,389 @@
+"""Integration tests for the network serving tier over real TCP.
+
+The load-bearing property is **wire equivalence**: a query answered
+through the server must be byte-identical to the same query answered by
+the in-process service — same documents, same scores to the last bit of
+the float.  Everything else (auth, quotas, deadlines, retries, the
+in-band HTTP routes, graceful shutdown) defends the operational
+contract of ``docs/wire_protocol.md``.
+"""
+
+import json
+import random
+import socket
+import struct
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.index import I3Index
+from repro.model.document import SpatialDocument
+from repro.model.query import Semantics, TopKQuery
+from repro.net import (
+    Client,
+    DeadlineExceeded,
+    FrameTooLarge,
+    NetServer,
+    NetServerConfig,
+    ProtocolError,
+    QuotaExceeded,
+    ServerOverloaded,
+    TenantDirectory,
+    Unauthorized,
+)
+from repro.net.errors import ConnectionLost, NetError
+from repro.net.protocol import encode_frame, query_to_args, read_frame, results_to_wire
+from repro.service.service import QueryService, ServiceConfig
+from repro.spatial.geometry import UNIT_SQUARE
+
+from tests.helpers import DEFAULT_VOCAB, make_documents
+
+TENANTS = {
+    "tenants": [
+        {"name": "acme", "api_key": "key-acme", "rate": None},
+        {"name": "trial", "api_key": "key-trial", "rate": 5.0, "burst": 3},
+        {"name": "readonly", "api_key": "key-ro", "rate": None,
+         "allow_writes": False},
+    ]
+}
+
+
+def _queries(count: int, seed: int = 7):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        words = tuple(rng.sample(DEFAULT_VOCAB, rng.randint(1, 3)))
+        out.append(TopKQuery(
+            rng.random(), rng.random(), words, k=rng.choice([3, 5, 10]),
+            semantics=Semantics.AND if rng.random() < 0.3 else Semantics.OR,
+        ))
+    return out
+
+
+@pytest.fixture(scope="class")
+def served():
+    """One service + server shared by a test class (expensive to boot)."""
+    rng = random.Random(42)
+    index = I3Index(UNIT_SQUARE, page_size=256)
+    index.bulk_load(make_documents(250, rng))
+    service = QueryService(index, ServiceConfig(workers=2, metrics_seed=0))
+    server = NetServer(
+        service,
+        tenants=TenantDirectory.from_dict(TENANTS),
+        config=NetServerConfig(port=0, read_timeout=10.0),
+    ).start()
+    try:
+        yield service, server
+    finally:
+        server.close()
+        service.close(drain=False)
+
+
+def _client(server, key="key-acme", **kwargs):
+    return Client("127.0.0.1", server.port, key=key, **kwargs)
+
+
+class TestWireEquivalence:
+    def test_120_queries_byte_identical(self, served):
+        service, server = served
+        client = _client(server)
+        try:
+            for query in _queries(120):
+                direct = service.search(query)
+                over_wire = client.search(query)
+                assert over_wire == direct
+                # Byte-identical, not merely equal: the serialized forms
+                # match down to every float digit.
+                assert json.dumps(results_to_wire(over_wire)) == \
+                    json.dumps(results_to_wire(direct))
+        finally:
+            client.close()
+
+    def test_search_by_parts_matches_query_object(self, served):
+        service, server = served
+        with _client(server) as client:
+            got = client.search(x=0.4, y=0.6, words=["cafe", "bar"], k=5,
+                                semantics="and")
+            query = TopKQuery(0.4, 0.6, ("cafe", "bar"), 5,
+                              semantics=Semantics.AND)
+            assert got == service.search(query)
+
+    def test_writes_visible_to_subsequent_queries(self, served):
+        service, server = served
+        with _client(server) as client:
+            doc = SpatialDocument(90001, 0.314, 0.159,
+                                  {"cafe": 0.99, "sushi": 0.5})
+            epoch = client.insert(doc)
+            assert epoch == service.index.epoch
+            query = TopKQuery(0.314, 0.159, ("cafe",), 3)
+            assert client.search(query) == service.search(query)
+            epoch_after = client.delete(doc)
+            assert epoch_after > epoch
+
+    def test_ping_health_metrics_ops(self, served):
+        _service, server = served
+        with _client(server) as client:
+            assert client.ping() is True
+            health = client.health()
+            assert health["status"] == "ok"
+            assert "acme" in health["tenants"]
+            assert "repro_net_requests" in client.metrics_text()
+
+
+class TestStreamingOverWire:
+    def test_register_then_poll_sees_mutations(self, served):
+        service, server = served
+        with _client(server) as client:
+            query = TopKQuery(0.2, 0.2, ("noodle",), 5)
+            qid = client.register(query, alpha=0.5)
+            # Registration delivers an initial snapshot.
+            first = client.poll()
+            assert [u["query_id"] for u in first] == [qid]
+            doc = SpatialDocument(90100, 0.2, 0.2, {"noodle": 1.0})
+            client.insert(doc)
+            updates = client.poll()
+            assert updates and updates[-1]["query_id"] == qid
+            assert any(r.doc_id == 90100 for r in updates[-1]["results"])
+            client.delete(doc)
+
+
+class TestAuthAndAdmission:
+    def test_unknown_key_is_unauthorized(self, served):
+        _service, server = served
+        with _client(server, key="bogus") as client:
+            with pytest.raises(Unauthorized):
+                client.search(x=0.5, y=0.5, words=["cafe"], k=3)
+
+    def test_missing_key_is_unauthorized(self, served):
+        _service, server = served
+        with _client(server, key=None) as client:
+            with pytest.raises(Unauthorized):
+                client.search(x=0.5, y=0.5, words=["cafe"], k=3)
+
+    def test_ping_needs_no_key(self, served):
+        _service, server = served
+        with _client(server, key=None) as client:
+            assert client.ping() is True
+
+    def test_readonly_tenant_cannot_write(self, served):
+        _service, server = served
+        with _client(server, key="key-ro") as client:
+            assert client.search(x=0.5, y=0.5, words=["cafe"], k=3) is not None
+            with pytest.raises(Unauthorized):
+                client.insert(SpatialDocument(90200, 0.5, 0.5, {"cafe": 1.0}))
+
+    def test_quota_shed_is_structured_and_retryable(self, served):
+        _service, server = served
+        with _client(server, key="key-trial", retries=0) as client:
+            shed = None
+            for _ in range(12):
+                try:
+                    client.search(x=0.5, y=0.5, words=["cafe"], k=3)
+                except QuotaExceeded as exc:
+                    shed = exc
+                    break
+            assert shed is not None, "trial tenant was never rate-limited"
+            assert shed.retryable
+            assert shed.retry_after_ms is not None and shed.retry_after_ms > 0
+
+    def test_tenant_isolation_under_saturation(self, served):
+        """A rate-limited tenant being hammered must not affect another
+        tenant: every acme query still succeeds and answers exactly."""
+        service, server = served
+        stop = threading.Event()
+        trial_outcomes = {"ok": 0, "shed": 0, "other": 0}
+
+        def hammer():
+            with _client(server, key="key-trial", retries=0) as noisy:
+                while not stop.is_set():
+                    try:
+                        noisy.search(x=0.5, y=0.5, words=["pizza"], k=3)
+                        trial_outcomes["ok"] += 1
+                    except QuotaExceeded:
+                        trial_outcomes["shed"] += 1
+                    except NetError:
+                        trial_outcomes["other"] += 1
+
+        thread = threading.Thread(target=hammer, daemon=True)
+        thread.start()
+        try:
+            with _client(server, key="key-acme") as client:
+                for query in _queries(40, seed=11):
+                    assert client.search(query) == service.search(query)
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert trial_outcomes["shed"] > 0, "saturation never tripped the quota"
+        assert trial_outcomes["other"] == 0
+        snapshot = {s["tenant"]: s for s in server.tenants.snapshot()}
+        assert snapshot["trial"]["rejected_quota"] > 0
+        assert snapshot["acme"]["rejected_quota"] == 0
+        assert snapshot["acme"]["rejected_pending"] == 0
+
+
+class TestProtocolEdges:
+    def test_oversized_frame_rejected_and_connection_closed(self, served):
+        _service, server = served
+        with _client(server, max_frame=1 << 30, retries=0) as client:
+            with pytest.raises(FrameTooLarge):
+                client.call("query", {
+                    "x": 0.5, "y": 0.5, "k": 1,
+                    "words": ["x" * (2 << 20)],
+                })
+
+    def test_malformed_json_gets_bad_request(self, served):
+        _service, server = served
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=5)
+        try:
+            body = b"this is not json"
+            sock.sendall(struct.pack("!I", len(body)) + body)
+            response = read_frame(sock.recv)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+            # The stream stays frame-aligned: a valid request after the
+            # bad one still answers.
+            sock.sendall(encode_frame({"op": "ping"}))
+            assert read_frame(sock.recv)["result"] == {"pong": True}
+        finally:
+            sock.close()
+
+    def test_expired_deadline_answered_without_executing(self, served):
+        _service, server = served
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=5)
+        try:
+            sock.sendall(encode_frame({
+                "op": "query", "key": "key-acme", "deadline_ms": -5,
+                "args": query_to_args(TopKQuery(0.5, 0.5, ("cafe",), 3)),
+            }))
+            response = read_frame(sock.recv)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "deadline_exceeded"
+        finally:
+            sock.close()
+
+    def test_client_refuses_to_attempt_past_deadline(self, served):
+        _service, server = served
+        with _client(server) as client:
+            with pytest.raises(DeadlineExceeded):
+                client.search(x=0.5, y=0.5, words=["cafe"], k=3,
+                              deadline_ms=0)
+
+    def test_unknown_op_is_bad_request(self, served):
+        _service, server = served
+        with _client(server) as client:
+            with pytest.raises(ProtocolError):
+                client.call("frobnicate")
+
+
+class TestHTTPOnMainPort:
+    def test_metrics_scrape(self, served):
+        _service, server = served
+        with _client(server) as client:
+            client.search(x=0.5, y=0.5, words=["cafe"], k=3)
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}/metrics", timeout=5
+        ) as response:
+            assert response.status == 200
+            assert "version=0.0.4" in response.headers["Content-Type"]
+            text = response.read().decode()
+        assert '# TYPE repro_net_requests counter' in text
+        assert 'repro_net_requests{tenant="acme"}' in text
+
+    def test_healthz(self, served):
+        _service, server = served
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}/healthz", timeout=5
+        ) as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "ok"
+
+    def test_unknown_path_404(self, served):
+        _service, server = served
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/nope", timeout=5
+            )
+        assert exc_info.value.code == 404
+
+
+class TestRetries:
+    def test_client_retries_through_flaky_transport(self, served):
+        service, server = served
+        real_connects = []
+
+        class FlakyOnce:
+            """First transport dies on send; later connects are real."""
+
+            def __init__(self):
+                self.failed = not real_connects
+
+            def sendall(self, data):
+                if self.failed:
+                    raise ConnectionResetError("injected")
+                self._sock.sendall(data)
+
+            def recv(self, n):
+                return self._sock.recv(n)
+
+            def close(self):
+                if not self.failed:
+                    self._sock.close()
+
+        def connect():
+            transport = FlakyOnce()
+            if not transport.failed:
+                transport._sock = socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=5
+                )
+            real_connects.append(True)
+            return transport
+
+        client = Client(key="key-acme", connect_factory=connect,
+                        retries=2, backoff_s=0.001)
+        try:
+            query = TopKQuery(0.5, 0.5, ("cafe",), 5)
+            assert client.search(query) == service.search(query)
+            assert client.attempts == 2
+            assert client.reconnects >= 1
+        finally:
+            client.close()
+
+    def test_non_retryable_error_not_retried(self, served):
+        _service, server = served
+        with _client(server, key="bogus", retries=3) as client:
+            before = client.attempts
+            with pytest.raises(Unauthorized):
+                client.search(x=0.5, y=0.5, words=["cafe"], k=3)
+            assert client.attempts == before + 1
+
+
+class TestLifecycle:
+    def test_graceful_close_then_connect_refused(self):
+        rng = random.Random(1)
+        index = I3Index(UNIT_SQUARE, page_size=256)
+        index.bulk_load(make_documents(40, rng))
+        service = QueryService(index, ServiceConfig(workers=1))
+        server = NetServer(service, config=NetServerConfig(
+            port=0, drain_timeout=2.0)).start()
+        client = Client("127.0.0.1", server.port)
+        try:
+            assert client.ping()
+            server.close()
+            assert server.closed
+            with pytest.raises(ConnectionLost):
+                Client("127.0.0.1", server.port, retries=0).ping()
+        finally:
+            client.close()
+            service.close(drain=False)
+
+    def test_close_is_idempotent(self):
+        rng = random.Random(2)
+        index = I3Index(UNIT_SQUARE, page_size=256)
+        index.bulk_load(make_documents(20, rng))
+        service = QueryService(index, ServiceConfig(workers=1))
+        with NetServer(service, config=NetServerConfig(port=0)) as server:
+            assert server.port != 0
+            server.close()
+            server.close()
+        service.close(drain=False)

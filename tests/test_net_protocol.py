@@ -1,0 +1,202 @@
+"""Unit tests for the wire protocol layer: framing, codecs, errors.
+
+Everything here is transport-free — pure byte and payload manipulation —
+so it pins the framing contract (4-byte big-endian length + UTF-8 JSON,
+size limit enforced *before* the body is read) independently of any
+socket behaviour.
+"""
+
+import struct
+
+import pytest
+
+from repro.model.query import Semantics, TopKQuery
+from repro.model.results import ScoredDoc
+from repro.net.errors import (
+    ConnectionLost,
+    FrameTooLarge,
+    NetError,
+    ProtocolError,
+    QuotaExceeded,
+    RemoteError,
+    ServerOverloaded,
+    Unauthorized,
+    error_from_payload,
+)
+from repro.net.protocol import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameAssembler,
+    decode_payload,
+    encode_frame,
+    query_from_args,
+    query_to_args,
+    read_frame,
+    results_from_wire,
+    results_to_wire,
+)
+
+
+def _reader(data: bytes, chunk: int = 65536):
+    """A recv-like callable over a byte string."""
+    view = bytearray(data)
+
+    def recv(n: int) -> bytes:
+        take = bytes(view[: min(n, chunk)])
+        del view[: len(take)]
+        return take
+
+    return recv
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"op": "query", "args": {"k": 5}, "nested": [1, 2.5, "x"]}
+        frame = encode_frame(payload)
+        assert frame[:HEADER_BYTES] == struct.pack("!I", len(frame) - HEADER_BYTES)
+        assert read_frame(_reader(frame)) == payload
+
+    def test_round_trip_byte_by_byte(self):
+        # recv() returning one byte at a time must reassemble correctly.
+        payload = {"op": "ping", "key": "abc"}
+        frame = encode_frame(payload)
+        assert read_frame(_reader(frame, chunk=1)) == payload
+
+    def test_clean_eof_returns_none(self):
+        assert read_frame(_reader(b"")) is None
+
+    def test_eof_inside_header_is_connection_lost(self):
+        with pytest.raises(ConnectionLost):
+            read_frame(_reader(b"\x00\x00"))
+
+    def test_eof_inside_body_is_connection_lost(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(ConnectionLost):
+            read_frame(_reader(frame[:-3]))
+
+    def test_oversized_announcement_rejected_before_body(self):
+        header = struct.pack("!I", MAX_FRAME_BYTES + 1)
+        reads = []
+
+        def recv(n):
+            reads.append(n)
+            return _reader(header)(n) if len(reads) == 1 else b""
+
+        with pytest.raises(FrameTooLarge):
+            read_frame(recv)
+        # Only the header was consumed; the body was never requested.
+        assert len(reads) == 1
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_custom_limit(self):
+        payload = {"op": "ping"}
+        frame = encode_frame(payload, max_frame=4096)
+        with pytest.raises(FrameTooLarge):
+            read_frame(_reader(frame), max_frame=8)
+
+    def test_garbage_json_is_protocol_error(self):
+        body = b"not json at all"
+        frame = struct.pack("!I", len(body)) + body
+        with pytest.raises(ProtocolError):
+            read_frame(_reader(frame))
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")
+
+
+class TestFrameAssembler:
+    def test_incremental_feed(self):
+        frames = [encode_frame({"i": i}) for i in range(3)]
+        blob = b"".join(frames)
+        assembler = FrameAssembler()
+        collected = []
+        for offset in range(0, len(blob), 7):
+            collected.extend(assembler.feed(blob[offset:offset + 7]))
+        assert collected == [{"i": 0}, {"i": 1}, {"i": 2}]
+        assert assembler.pending_bytes == 0
+
+    def test_oversize_raises(self):
+        assembler = FrameAssembler(max_frame=16)
+        with pytest.raises(FrameTooLarge):
+            assembler.feed(struct.pack("!I", 1 << 20))
+
+
+class TestQueryCodec:
+    def test_round_trip(self):
+        query = TopKQuery(0.25, 0.75, ("cafe", "sushi"), 7,
+                          semantics=Semantics.AND)
+        assert query_from_args(query_to_args(query)) == query
+
+    def test_or_default(self):
+        query = TopKQuery(0.1, 0.2, ("bar",), 3)
+        assert query_from_args(query_to_args(query)).semantics is Semantics.OR
+
+    @pytest.mark.parametrize("mutation", [
+        {"k": 0}, {"k": "five"}, {"words": []}, {"words": "cafe"},
+        {"x": "left"}, {"semantics": "xor"}, {"x": float("nan")},
+    ])
+    def test_malformed_args_rejected(self, mutation):
+        args = query_to_args(TopKQuery(0.1, 0.2, ("bar",), 3))
+        args.update(mutation)
+        with pytest.raises(ProtocolError):
+            query_from_args(args)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            query_from_args(None)
+
+
+class TestResultsCodec:
+    def test_round_trip_is_equality(self):
+        results = [ScoredDoc(0.875, 3), ScoredDoc(0.1234567890123456, 9)]
+        assert results_from_wire(results_to_wire(results)) == results
+
+    def test_float_round_trip_exact_through_json(self):
+        # JSON shortest-repr floats survive encode/decode bit-exactly —
+        # the property the wire-equivalence acceptance test relies on.
+        import math
+        score = math.pi / 3
+        frame = encode_frame({"r": results_to_wire([ScoredDoc(score, 1)])})
+        decoded = results_from_wire(read_frame(_reader(frame))["r"])
+        assert decoded[0].score == score
+
+    def test_malformed_pairs_rejected(self):
+        with pytest.raises(ProtocolError):
+            results_from_wire([[1]])
+        with pytest.raises(ProtocolError):
+            results_from_wire("nope")
+
+
+class TestErrorPayloads:
+    @pytest.mark.parametrize("error", [
+        ProtocolError("bad"),
+        Unauthorized("key"),
+        QuotaExceeded("slow down", retry_after_ms=250),
+        ServerOverloaded("busy"),
+        FrameTooLarge("big"),
+    ])
+    def test_round_trip_preserves_type_and_contract(self, error):
+        back = error_from_payload(error.payload())
+        assert type(back) is type(error)
+        assert back.code == error.code
+        assert back.retryable == error.retryable
+        assert back.retry_after_ms == error.retry_after_ms
+
+    def test_unknown_code_degrades_to_remote_error(self):
+        back = error_from_payload(
+            {"code": "future_thing", "message": "??", "retryable": True}
+        )
+        assert isinstance(back, RemoteError)
+        assert back.retryable  # honours the wire flag
+
+    def test_retryable_flags(self):
+        assert QuotaExceeded("q").retryable
+        assert ServerOverloaded("o").retryable
+        assert ConnectionLost("c").retryable
+        assert not Unauthorized("u").retryable
+        assert not ProtocolError("p").retryable
+        assert isinstance(ProtocolError("p"), NetError)
