@@ -1,0 +1,188 @@
+"""Temporal index benchmark: hot-window pruning and rolling retention.
+
+Runs both temporal corpus scenarios (``time-skewed`` exponential ages
+and ``burst`` arrivals) through the time-sliced index and writes the
+machine-readable report to ``BENCH_temporal.json`` at the repository
+root (the artifact CI uploads).
+
+Two headline contracts are asserted, not just measured:
+
+* **hot-window pruning** — recency-decayed queries over the last two
+  slice widths must skip at least half of all sealed slices (the
+  slice-level score bounds carry the decay term, so old slices fall
+  below delta without being opened);
+* **slice-grained retention** — expiry must never enter a
+  per-document delete path: dropping a slice is O(1) index work, and
+  the benchmark counts the delete calls to prove it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+from typing import Dict
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.datasets.generators import TEMPORAL_SCENARIOS
+from repro.model.query import TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import UNIT_SQUARE
+from repro.temporal import (
+    RecencySpec,
+    TemporalConfig,
+    TemporalIndex,
+    TemporalQuery,
+    TimeRange,
+)
+
+SCENARIOS = tuple(sorted(TEMPORAL_SCENARIOS))
+DOCS = 4000
+HORIZON = 86400.0  # one simulated day
+SLICE_WIDTH = 3600.0  # one-hour slices
+HOT_SLICES = 2.0  # queried window, in slice widths back from "now"
+QUERIES = 150
+MIN_SKIP_RATIO = 0.5
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_temporal.json"
+
+_results: Dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.benchmark(group="temporal")
+def test_temporal_hot_window_and_retention(benchmark, profile, scenario):
+    corpus = TEMPORAL_SCENARIOS[scenario](
+        num_documents=DOCS, seed=profile.seed, horizon=HORIZON
+    )
+    tdocs = list(corpus.temporal_documents())
+
+    def run():
+        rng = random.Random((profile.seed, scenario).__repr__())
+        build_start = time.perf_counter()
+        index = TemporalIndex.build(
+            UNIT_SQUARE,
+            tdocs,
+            TemporalConfig(
+                slice_width=SLICE_WIDTH,
+                retention_age=HOT_SLICES * SLICE_WIDTH,
+                page_size=1024,
+            ),
+        )
+        index.advance(HORIZON)  # seal every slice: worst pruning case
+        build_s = time.perf_counter() - build_start
+
+        ranker = Ranker(UNIT_SQUARE)
+        keywords = corpus.most_frequent_keywords(60)
+        window = TimeRange(HORIZON - HOT_SLICES * SLICE_WIDTH, HORIZON)
+        spec = RecencySpec(SLICE_WIDTH, HORIZON)
+        query_start = time.perf_counter()
+        for x, y in corpus.sample_locations(rng, QUERIES):
+            words = tuple(rng.sample(keywords, rng.randint(1, 3)))
+            index.query(
+                TemporalQuery(
+                    TopKQuery(x, y, words, k=10),
+                    time_range=window,
+                    recency=spec,
+                ),
+                ranker,
+            )
+        query_s = time.perf_counter() - query_start
+        stats = index.slice_stats()
+
+        # Retention: count every per-document delete path entered while
+        # expiry drops the aged-out slices.  The contract is zero.
+        delete_calls = [0]
+        for s in index._slices.values():
+
+            def counted(ref, _orig=s.index.delete_document):
+                delete_calls[0] += 1
+                return _orig(ref)
+
+            s.index.delete_document = counted
+        docs_before = index.num_documents
+        retain_start = time.perf_counter()
+        dropped = index.expire()
+        retention_s = time.perf_counter() - retain_start
+        return {
+            "build_s": build_s,
+            "query_s": query_s,
+            "stats": stats,
+            "dropped": len(dropped),
+            "docs_dropped": docs_before - index.num_documents,
+            "retention_s": retention_s,
+            "delete_calls": delete_calls[0],
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = out["stats"]
+    # Contract 1: the hot window must actually prune the sealed past.
+    assert stats["skip_ratio"] >= MIN_SKIP_RATIO, (
+        f"{scenario}: hot-window queries skipped only "
+        f"{stats['skip_ratio']:.2f} of sealed slices (need >= {MIN_SKIP_RATIO})"
+    )
+    # Contract 2: retention ran a slice-drop path, not document deletes.
+    assert out["delete_calls"] == 0, (
+        f"{scenario}: retention entered the per-document delete path "
+        f"{out['delete_calls']} times"
+    )
+    assert out["dropped"] > 0 and out["docs_dropped"] > 0
+    _results[scenario] = {
+        "scenario": scenario,
+        "documents": DOCS,
+        "slices": int(stats["slices"]) + out["dropped"],
+        "sealed_skip_ratio": round(stats["skip_ratio"], 4),
+        "build_s": round(out["build_s"], 4),
+        "queries": QUERIES,
+        "qps": round(QUERIES / out["query_s"], 1) if out["query_s"] > 0 else None,
+        "retention": {
+            "slices_dropped": out["dropped"],
+            "documents_dropped": out["docs_dropped"],
+            "seconds": round(out["retention_s"], 6),
+            "per_document_deletes": out["delete_calls"],
+        },
+    }
+
+
+@pytest.mark.benchmark(group="temporal")
+def test_temporal_report(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        f"Temporal slicing — hot-window pruning and retention "
+        f"({DOCS} docs over {HORIZON / 3600:.0f}h, "
+        f"{SLICE_WIDTH / 3600:.0f}h slices, last {HOT_SLICES:g} queried)",
+        ["scenario", "slices", "skip", "qps", "dropped", "retention ms"],
+    )
+    for scenario in sorted(_results):
+        row = _results[scenario]
+        table.add_row(
+            scenario,
+            row["slices"],
+            row["sealed_skip_ratio"],
+            row["qps"],
+            row["retention"]["slices_dropped"],
+            round(row["retention"]["seconds"] * 1000, 2),
+        )
+    collect(table.render())
+
+    for scenario in SCENARIOS:
+        assert scenario in _results, f"scenario {scenario} never measured"
+        assert _results[scenario]["retention"]["per_document_deletes"] == 0
+
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "temporal",
+                "profile": profile.name,
+                "horizon_s": HORIZON,
+                "slice_width_s": SLICE_WIDTH,
+                "hot_window_slices": HOT_SLICES,
+                "min_skip_ratio": MIN_SKIP_RATIO,
+                "sweep": [_results[s] for s in sorted(_results)],
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -39,17 +39,24 @@ from repro.spatial.geometry import Rect
 __all__ = ["main"]
 
 
-def _write_corpus(documents: Iterable[SpatialDocument], out) -> int:
+def _write_corpus(
+    documents: Iterable[SpatialDocument], out, timestamps=None
+) -> int:
     count = 0
-    for doc in documents:
+    for i, doc in enumerate(documents):
         record = {"id": doc.doc_id, "x": doc.x, "y": doc.y, "terms": dict(doc.terms)}
+        if timestamps is not None:
+            record["ts"] = timestamps[i]
         out.write(json.dumps(record) + "\n")
         count += 1
     return count
 
 
-def _read_corpus(path: str) -> List[SpatialDocument]:
+def _read_corpus_records(path: str):
+    """JSONL corpus as ``(documents, timestamps)``; ``timestamps`` is
+    ``None`` unless every record carries a ``ts`` field."""
     documents = []
+    timestamps = []
     with open(path, "r", encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, start=1):
             line = line.strip()
@@ -62,33 +69,55 @@ def _read_corpus(path: str) -> List[SpatialDocument]:
                         record["id"], record["x"], record["y"], record["terms"]
                     )
                 )
+                if "ts" in record:
+                    timestamps.append(float(record["ts"]))
             except (KeyError, ValueError, TypeError) as exc:
                 raise SystemExit(f"{path}:{line_no}: bad document record: {exc}")
-    return documents
+    if timestamps and len(timestamps) != len(documents):
+        raise SystemExit(
+            f"{path}: {len(timestamps)} of {len(documents)} records carry a "
+            "ts field — a temporal corpus must timestamp every document"
+        )
+    return documents, (timestamps if timestamps else None)
+
+
+def _read_corpus(path: str) -> List[SpatialDocument]:
+    return _read_corpus_records(path)[0]
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    if args.kind == "twitter":
+    if args.scenario:
+        from repro.datasets.generators import TEMPORAL_SCENARIOS
+
+        corpus = TEMPORAL_SCENARIOS[args.scenario](
+            args.docs, seed=args.seed, horizon=args.horizon
+        )
+        label = f"{args.scenario}-scenario"
+    elif args.kind == "twitter":
         corpus = TwitterLikeGenerator(args.docs, seed=args.seed).generate()
+        label = f"{args.kind}-like"
     else:
         corpus = WikipediaLikeGenerator(args.docs, seed=args.seed).generate()
+        label = f"{args.kind}-like"
     if args.out == "-":
-        count = _write_corpus(corpus.documents, sys.stdout)
+        count = _write_corpus(corpus.documents, sys.stdout, corpus.timestamps)
     else:
         with open(args.out, "w", encoding="utf-8") as fh:
-            count = _write_corpus(corpus.documents, fh)
+            count = _write_corpus(corpus.documents, fh, corpus.timestamps)
     print(
-        f"generated {count} {args.kind}-like documents "
-        f"({len(corpus.vocabulary)} distinct keywords) -> {args.out}",
+        f"generated {count} {label} documents "
+        f"({len(corpus.vocabulary)} distinct keywords"
+        + (", timestamped" if corpus.timestamps is not None else "")
+        + f") -> {args.out}",
         file=sys.stderr,
     )
     return 0
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    if not args.out and not args.durable_dir:
-        raise SystemExit("build needs --out and/or --durable-dir")
-    documents = _read_corpus(args.corpus)
+    if not args.out and not args.durable_dir and not args.temporal_dir:
+        raise SystemExit("build needs --out, --durable-dir and/or --temporal-dir")
+    documents, timestamps = _read_corpus_records(args.corpus)
     if not documents:
         raise SystemExit(f"{args.corpus}: no documents")
     if args.space:
@@ -97,6 +126,38 @@ def _cmd_build(args: argparse.Namespace) -> int:
         xs = [d.x for d in documents]
         ys = [d.y for d in documents]
         space = Rect(min(xs), min(ys), max(xs) + 1e-9, max(ys) + 1e-9)
+    if args.temporal_dir:
+        from repro.temporal import TemporalConfig, TemporalDocument, TemporalIndex
+
+        if timestamps is None:
+            raise SystemExit(
+                f"{args.corpus}: --temporal-dir needs a timestamped corpus "
+                "(generate one with --scenario)"
+            )
+        temporal = TemporalIndex.build(
+            space,
+            (TemporalDocument(d, ts) for d, ts in zip(documents, timestamps)),
+            TemporalConfig(
+                slice_width=args.slice_width,
+                retention_age=args.retention_age,
+                page_size=args.page_size,
+                eta=args.eta,
+            ),
+            durable_root=args.temporal_dir,
+        )
+        temporal.checkpoint()
+        stats = temporal.slice_stats()
+        temporal.close()
+        print(
+            f"built temporal index over {int(stats['documents'])} documents: "
+            f"{int(stats['slices'])} slices "
+            f"({int(stats['sealed_slices'])} sealed, "
+            f"{int(stats['sealed_bytes']):,}B sealed pages); "
+            f"saved -> {args.temporal_dir}/",
+            file=sys.stderr,
+        )
+        if not args.out and not args.durable_dir:
+            return 0
     index = I3Index(space, eta=args.eta, page_size=args.page_size)
     if args.incremental:
         for doc in documents:
@@ -238,6 +299,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elif args.durable_dir:
         target = DurableIndex.open(args.durable_dir)
         space = target.index.space
+    elif getattr(args, "temporal_dir", None):
+        from repro.temporal import TemporalIndex
+
+        target = TemporalIndex.open(args.temporal_dir)
+        space = target.space
     else:
         corpus = TwitterLikeGenerator(args.docs, seed=args.seed).generate()
         target = I3Index(corpus.space, page_size=args.page_size)
@@ -625,6 +691,94 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_temporal_bench(args: argparse.Namespace) -> int:
+    """Demonstrate slice-level pruning and O(slices) retention."""
+    import random
+    import time
+
+    from repro.datasets.generators import TEMPORAL_SCENARIOS
+    from repro.temporal import (
+        RecencySpec,
+        TemporalConfig,
+        TemporalIndex,
+        TemporalQuery,
+        TimeRange,
+    )
+
+    corpus = TEMPORAL_SCENARIOS[args.scenario](
+        args.docs, seed=args.seed, horizon=args.horizon
+    )
+    config = TemporalConfig(
+        slice_width=args.slice_width,
+        retention_age=args.hot_window * args.slice_width,
+        page_size=args.page_size,
+    )
+    build_start = time.perf_counter()
+    index = TemporalIndex.build(corpus.space, corpus.temporal_documents(), config)
+    index.advance(args.horizon)  # everything before "now" seals
+    build_s = time.perf_counter() - build_start
+    ranker = Ranker(corpus.space, alpha=args.alpha)
+    rng = random.Random(("temporal-bench", args.seed).__repr__())
+    keywords = corpus.most_frequent_keywords(60)
+    locations = corpus.sample_locations(rng, args.queries)
+    half_life = args.half_life if args.half_life else args.slice_width
+    window = TimeRange(
+        args.horizon - args.hot_window * args.slice_width, args.horizon
+    )
+    query_start = time.perf_counter()
+    for x, y in locations:
+        words = tuple(rng.sample(keywords, rng.randint(1, 3)))
+        index.query(
+            TemporalQuery(
+                TopKQuery(x, y, words, k=args.k),
+                time_range=window,
+                recency=RecencySpec(half_life, args.horizon),
+            ),
+            ranker,
+        )
+    query_s = time.perf_counter() - query_start
+    stats = index.slice_stats()
+    # Retention: expire everything outside the hot window and time it.
+    docs_before = index.num_documents
+    retain_start = time.perf_counter()
+    dropped = index.expire()
+    retention_s = time.perf_counter() - retain_start
+    report = {
+        "scenario": args.scenario,
+        "documents": args.docs,
+        "slices": int(stats["slices"]),
+        "sealed_slices": int(stats["sealed_slices"]),
+        "build_s": round(build_s, 4),
+        "queries": args.queries,
+        "qps": round(args.queries / query_s, 1) if query_s > 0 else None,
+        "sealed_skip_ratio": round(stats["skip_ratio"], 4),
+        "retention": {
+            "slices_dropped": len(dropped),
+            "documents_dropped": docs_before - index.num_documents,
+            "seconds": round(retention_s, 6),
+        },
+    }
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        print(
+            f"{args.scenario}: {args.docs} docs in {report['slices']} slices "
+            f"({report['sealed_slices']} sealed), built in {build_s:.2f}s"
+        )
+        print(
+            f"hot-window queries ({args.queries}, last "
+            f"{args.hot_window:g} slices): {report['qps']} qps, "
+            f"sealed-slice skip ratio {report['sealed_skip_ratio']:.2f}"
+        )
+        print(
+            f"retention: dropped {len(dropped)} slices "
+            f"({report['retention']['documents_dropped']} docs) in "
+            f"{retention_s * 1000:.2f} ms — O(slices), no per-doc deletes"
+        )
+    return 0
+
+
 def _cmd_simtest(args: argparse.Namespace) -> int:
     import os
 
@@ -792,12 +946,35 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--kind", choices=["twitter", "wikipedia"], default="twitter")
     generate.add_argument("--docs", type=int, default=1000)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--scenario", choices=["time-skewed", "burst"],
+        help="temporal arrival scenario: timestamp every document "
+        "(records gain a ts field)",
+    )
+    generate.add_argument(
+        "--horizon", type=float, default=86400.0,
+        help="time span of the temporal scenarios, seconds (default 1 day)",
+    )
     generate.add_argument("--out", default="-", help="output path or - for stdout")
     generate.set_defaults(func=_cmd_generate)
 
     build = sub.add_parser("build", help="build and save an I3 index")
     build.add_argument("--corpus", required=True, help="JSON-lines corpus path")
     build.add_argument("--out", help="index snapshot output path (.i3ix)")
+    build.add_argument(
+        "--temporal-dir",
+        help="build a time-sliced temporal index from a timestamped corpus "
+        "into this directory",
+    )
+    build.add_argument(
+        "--slice-width", type=float, default=3600.0,
+        help="temporal slice width, seconds (default 1 hour)",
+    )
+    build.add_argument(
+        "--retention-age", type=float, default=None,
+        help="drop slices older than this behind the watermark, seconds "
+        "(default: keep forever)",
+    )
     build.add_argument(
         "--durable-dir",
         help="also start a WAL-backed durable store in this directory "
@@ -900,6 +1077,11 @@ def build_parser() -> argparse.ArgumentParser:
     server_source.add_argument("--index", help="existing .i3ix index to serve")
     server_source.add_argument(
         "--durable-dir", help="WAL-backed durable store directory to serve"
+    )
+    server_source.add_argument(
+        "--temporal-dir",
+        help="time-sliced temporal index directory to serve "
+        "(accepts time_range/recency query fields)",
     )
     server_source.add_argument(
         "--docs", type=int, default=2000,
@@ -1040,6 +1222,38 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--json", action="store_true", help="JSON metrics output")
     shard.set_defaults(func=_cmd_shard_bench)
 
+    temporal = sub.add_parser(
+        "temporal-bench",
+        help="demo temporal slicing: hot-window pruning and O(slices) retention",
+    )
+    temporal.add_argument(
+        "--scenario", choices=["time-skewed", "burst"], default="time-skewed"
+    )
+    temporal.add_argument("--docs", type=int, default=4000)
+    temporal.add_argument("--seed", type=int, default=0)
+    temporal.add_argument(
+        "--horizon", type=float, default=86400.0,
+        help="corpus time span, seconds (default 1 day)",
+    )
+    temporal.add_argument(
+        "--slice-width", type=float, default=3600.0,
+        help="slice width, seconds (default 1 hour)",
+    )
+    temporal.add_argument("--queries", type=int, default=200)
+    temporal.add_argument("--k", type=int, default=10)
+    temporal.add_argument("--alpha", type=float, default=0.5)
+    temporal.add_argument("--page-size", type=int, default=1024)
+    temporal.add_argument(
+        "--hot-window", type=float, default=2.0,
+        help="queried window, in slice widths back from now (default 2)",
+    )
+    temporal.add_argument(
+        "--half-life", type=float, default=None,
+        help="recency half-life, seconds (default: one slice width)",
+    )
+    temporal.add_argument("--json", action="store_true", help="JSON report")
+    temporal.set_defaults(func=_cmd_temporal_bench)
+
     simtest = sub.add_parser(
         "simtest",
         help="seeded whole-system simulation: fuzz, replay, or run canaries",
@@ -1065,7 +1279,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simtest.add_argument(
         "--inject-bug",
-        choices=["lost-wal-record", "stale-cache", "dropped-push"],
+        choices=["lost-wal-record", "stale-cache", "dropped-push", "stale-slice"],
         help="canary mode: flip a known-bad code path and assert the "
         "harness catches it (and that the shrunk trace still fails)",
     )

@@ -38,6 +38,9 @@ __all__ = [
     "TwitterLikeGenerator",
     "WikipediaLikeGenerator",
     "SCALE_FACTOR",
+    "TEMPORAL_SCENARIOS",
+    "burst_arrival",
+    "time_skewed",
     "twitter_like",
     "wikipedia_like",
     "TWITTER_SCALES",
@@ -71,12 +74,27 @@ class Corpus:
     space: Rect
     documents: List[SpatialDocument]
     vocabulary: Vocabulary
+    timestamps: Optional[List[float]] = None
+    """Per-document arrival times (aligned with ``documents``), set by
+    the temporal workload scenarios (``time_skewed``/``burst_arrival``)."""
 
     def __len__(self) -> int:
         return len(self.documents)
 
     def __iter__(self) -> Iterator[SpatialDocument]:
         return iter(self.documents)
+
+    def temporal_documents(self):
+        """The corpus as ``TemporalDocument`` objects; requires
+        timestamps (use a temporal scenario generator)."""
+        from repro.temporal.model import TemporalDocument
+
+        if self.timestamps is None:
+            raise ValueError(f"corpus {self.name!r} has no timestamps")
+        return [
+            TemporalDocument(doc, ts)
+            for doc, ts in zip(self.documents, self.timestamps)
+        ]
 
     def most_frequent_keywords(self, n: int) -> List[str]:
         """The n keywords with the highest document frequency."""
@@ -276,3 +294,78 @@ def wikipedia_like(num_documents: int = 800, seed: int = 0, **kwargs) -> Corpus:
     return WikipediaLikeGenerator(
         num_documents, seed=seed, name="Wikipedia", **kwargs
     ).generate()
+
+
+# ---------------------------------------------------------------------------
+# Temporal arrival scenarios
+# ---------------------------------------------------------------------------
+def time_skewed(
+    num_documents: int = 2000,
+    seed: int = 0,
+    *,
+    horizon: float = 86400.0,
+    hot_fraction: float = 8.0,
+    **kwargs,
+) -> Corpus:
+    """A recency-skewed corpus: arrivals pile up near "now".
+
+    Ages are exponential with mean ``horizon / hot_fraction`` (clamped
+    to the horizon), so most documents land in the most recent slices —
+    the shape real ingest feeds have, and the one that makes hot-window
+    pruning matter.  Timestamps span ``[0, horizon)`` with the newest
+    near ``horizon``.
+    """
+    corpus = TwitterLikeGenerator(
+        num_documents, seed=seed, name=f"TimeSkewed{num_documents}", **kwargs
+    ).generate()
+    rng = random.Random(("time-skewed", seed).__repr__())
+    scale = horizon / hot_fraction
+    timestamps = []
+    for _ in corpus.documents:
+        age = min(rng.expovariate(1.0 / scale), horizon * 0.999)
+        timestamps.append(round(horizon - age, 6))
+    corpus.timestamps = timestamps
+    return corpus
+
+
+def burst_arrival(
+    num_documents: int = 2000,
+    seed: int = 0,
+    *,
+    horizon: float = 86400.0,
+    bursts: int = 6,
+    burst_sigma_fraction: float = 0.01,
+    background: float = 0.2,
+    **kwargs,
+) -> Corpus:
+    """A bursty corpus: arrivals cluster around a few event times.
+
+    ``bursts`` Gaussian arrival spikes (width ``burst_sigma_fraction``
+    of the horizon) sit on a uniform ``background`` fraction of
+    arrivals — the flash-crowd shape (breaking news, flash sales) that
+    stresses slice sealing and uneven slice sizes.
+    """
+    corpus = TwitterLikeGenerator(
+        num_documents, seed=seed, name=f"BurstArrival{num_documents}", **kwargs
+    ).generate()
+    rng = random.Random(("burst-arrival", seed).__repr__())
+    centers = sorted(
+        rng.uniform(0.1 * horizon, 0.95 * horizon) for _ in range(bursts)
+    )
+    sigma = horizon * burst_sigma_fraction
+    timestamps = []
+    for _ in corpus.documents:
+        if rng.random() < background:
+            ts = rng.uniform(0.0, horizon)
+        else:
+            ts = rng.gauss(rng.choice(centers), sigma)
+        timestamps.append(round(min(max(ts, 0.0), horizon * 0.999999), 6))
+    corpus.timestamps = timestamps
+    return corpus
+
+
+TEMPORAL_SCENARIOS = {
+    "time-skewed": time_skewed,
+    "burst": burst_arrival,
+}
+"""Named temporal arrival scenarios for the CLI and benches."""

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.model.query import Semantics, TopKQuery
 from repro.model.results import ScoredDoc
 from repro.net.errors import ConnectionLost, FrameTooLarge, ProtocolError
+from repro.temporal.model import RecencySpec, TemporalQuery, TimeRange
 
 __all__ = [
     "FrameAssembler",
@@ -182,20 +183,67 @@ def error_response(error) -> Dict:
     return {"ok": False, "error": error.payload()}
 
 
-def query_to_args(query: TopKQuery) -> Dict:
-    """The wire form of a top-k query."""
-    return {
-        "x": query.x,
-        "y": query.y,
-        "words": list(query.words),
-        "k": query.k,
-        "semantics": query.semantics.value,
+def query_to_args(query) -> Dict:
+    """The wire form of a top-k query.
+
+    A :class:`~repro.temporal.model.TemporalQuery` adds its optional
+    ``time_range`` (``[start, end)`` pair) and ``recency``
+    (``{"half_life", "origin"}``) fields; a plain query omits both, so
+    pre-temporal peers interoperate unchanged.
+    """
+    base = query.base if isinstance(query, TemporalQuery) else query
+    args = {
+        "x": base.x,
+        "y": base.y,
+        "words": list(base.words),
+        "k": base.k,
+        "semantics": base.semantics.value,
     }
+    if isinstance(query, TemporalQuery):
+        if query.time_range is not None:
+            args["time_range"] = [query.time_range.start, query.time_range.end]
+        if query.recency is not None:
+            args["recency"] = {
+                "half_life": query.recency.half_life,
+                "origin": query.recency.origin,
+            }
+    return args
 
 
-def query_from_args(args: Dict) -> TopKQuery:
+def _time_range_from_args(raw) -> TimeRange:
+    if (
+        not isinstance(raw, list)
+        or len(raw) != 2
+        or not all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in raw)
+    ):
+        raise ProtocolError("time_range must be a [start, end] number pair")
+    try:
+        return TimeRange(float(raw[0]), float(raw[1]))
+    except ValueError as exc:  # non-finite or empty interval
+        raise ProtocolError(str(exc)) from None
+
+
+def _recency_from_args(raw) -> RecencySpec:
+    if not isinstance(raw, dict):
+        raise ProtocolError("recency must be an object")
+    try:
+        half_life = float(raw["half_life"])
+        origin = float(raw["origin"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed recency spec: {exc}") from None
+    try:
+        return RecencySpec(half_life, origin)
+    except ValueError as exc:  # non-positive half-life, non-finite origin
+        raise ProtocolError(str(exc)) from None
+
+
+def query_from_args(args: Dict):
     """Parse and validate a wire query; schema violations raise
-    :class:`ProtocolError` (mapped to ``bad_request`` on the wire)."""
+    :class:`ProtocolError` (mapped to ``bad_request`` on the wire).
+
+    Returns a :class:`TopKQuery`, or a :class:`TemporalQuery` when the
+    args carry a ``time_range`` and/or ``recency`` field.
+    """
     if not isinstance(args, dict):
         raise ProtocolError("query args must be an object")
     try:
@@ -217,7 +265,7 @@ def query_from_args(args: Dict) -> TopKQuery:
     if semantics not in ("and", "or"):
         raise ProtocolError(f"unknown semantics {semantics!r}")
     try:
-        return TopKQuery(
+        base = TopKQuery(
             x,
             y,
             tuple(words),
@@ -226,6 +274,19 @@ def query_from_args(args: Dict) -> TopKQuery:
         )
     except ValueError as exc:  # empty words, k <= 0
         raise ProtocolError(str(exc)) from None
+    time_range = (
+        _time_range_from_args(args["time_range"])
+        if args.get("time_range") is not None
+        else None
+    )
+    recency = (
+        _recency_from_args(args["recency"])
+        if args.get("recency") is not None
+        else None
+    )
+    if time_range is None and recency is None:
+        return base
+    return TemporalQuery(base, time_range, recency)
 
 
 def results_to_wire(results) -> List[List]:

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.model.document import SpatialDocument
+from repro.temporal.model import TemporalQuery
 from repro.net.errors import (
     DeadlineExceeded,
     FrameTooLarge,
@@ -135,6 +136,14 @@ class ServiceBackend:
         return self.target.metrics
 
     def query(self, query, timeout_s: Optional[float]) -> List[Any]:
+        if isinstance(query, TemporalQuery) and (
+            self._is_cluster or getattr(self.target, "temporal", None) is None
+        ):
+            # Silently ignoring the temporal axis would serve *wrong*
+            # answers; an explicit refusal is the only safe default.
+            raise ProtocolError(
+                "temporal queries require a temporal-index backend"
+            )
         if self._is_cluster:
             answer = self.target.search(query)
             if answer.degraded:
@@ -355,6 +364,11 @@ class ConnectionCore:
                 return {"epoch": server.backend.epoch}
             if op == "register":
                 query = query_from_args(args.get("query"))
+                if isinstance(query, TemporalQuery):
+                    raise ProtocolError(
+                        "standing queries must be plain top-k (results age "
+                        "out via retention, not via a per-query time range)"
+                    )
                 alpha = args.get("alpha", 0.5)
                 if not isinstance(alpha, (int, float)):
                     raise ProtocolError(f"bad alpha: {alpha!r}")

@@ -50,6 +50,7 @@ from repro.service.errors import (
 )
 from repro.service.metrics import MetricsRegistry
 from repro.storage.iostats import IOStats
+from repro.temporal.index import TemporalIndex
 
 __all__ = ["ServiceConfig", "QueryService"]
 
@@ -190,6 +191,7 @@ class QueryService:
         self._now = clock if clock is not None else time.monotonic
         self._executor = executor
         self._durable: Optional[DurableIndex] = None
+        self._temporal: Optional[TemporalIndex] = None
         if isinstance(target, SpatialKeywordDatabase):
             self._db: Optional[SpatialKeywordDatabase] = target
             self._index = target.index
@@ -197,6 +199,14 @@ class QueryService:
             self._db = None
             self._durable = target
             self._index = target.index
+        elif isinstance(target, TemporalIndex):
+            # A temporal target quacks like an I3Index everywhere the
+            # service touches it (query/epoch/stats/mutations), so it
+            # rides the plain-index path; the handle here only feeds
+            # slice gauges and the temporal lifecycle methods.
+            self._db = None
+            self._temporal = target
+            self._index = target
         else:
             self._db = None
             self._index = target
@@ -225,6 +235,8 @@ class QueryService:
         self._close_lock = threading.Lock()
         self._started = self._now()
         self.metrics.gauge("service.workers").set(self.config.workers)
+        if self._temporal is not None:
+            self._temporal.bind_metrics(self.metrics)
         if executor is None:
             self._workers = [
                 threading.Thread(
@@ -441,7 +453,18 @@ class QueryService:
 
     def checkpoint(self) -> None:
         """Snapshot the durable target under the write lock, resetting
-        its log (bounds replay work after the next crash)."""
+        its log (bounds replay work after the next crash).  On a
+        temporal target with a durable root, persists every slice."""
+        if self._temporal is not None and self._temporal.durable_root is not None:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            self._rwlock.acquire_write()
+            try:
+                self._temporal.checkpoint()
+            finally:
+                self._rwlock.release_write()
+            self.metrics.counter("service.checkpoints").inc()
+            return
         if self._durable is None:
             raise ValueError("checkpoint() requires a DurableIndex target")
         if self._closed:
@@ -452,6 +475,32 @@ class QueryService:
         finally:
             self._rwlock.release_write()
         self.metrics.counter("service.checkpoints").inc()
+
+    # ------------------------------------------------------------------
+    # Temporal lifecycle (temporal targets only)
+    # ------------------------------------------------------------------
+    @property
+    def temporal(self) -> Optional[TemporalIndex]:
+        """The temporal target, or ``None``."""
+        return self._temporal
+
+    def advance(self, now: float) -> None:
+        """Advance the temporal watermark under the write lock."""
+        if self._temporal is None:
+            raise ValueError("advance() requires a TemporalIndex target")
+        self.mutate(lambda _target: self._temporal.advance(now))
+
+    def expire(self, now: Optional[float] = None) -> List[int]:
+        """Apply rolling retention under the write lock.
+
+        Returns the dropped slice ids.  The epoch bump inside
+        :meth:`TemporalIndex.expire` invalidates cached results, and
+        standing queries observe the per-document delete events the
+        drop emits, so subscribers age results out consistently.
+        """
+        if self._temporal is None:
+            raise ValueError("expire() requires a TemporalIndex target")
+        return self.mutate(lambda _target: self._temporal.expire(now))
 
     # ------------------------------------------------------------------
     # Worker pool
@@ -556,7 +605,10 @@ class QueryService:
         snapshot["admission"] = self._admission.snapshot()
         if self.cache is not None:
             snapshot["cache"] = self.cache.stats()
-        pool = self._index.data.buffer
+        if self._temporal is not None:
+            snapshot["temporal"] = self._temporal.slice_stats()
+        data = getattr(self._index, "data", None)
+        pool = data.buffer if data is not None else None
         if pool is not None:
             counters = pool.counters()
             snapshot["buffer_pool"] = {

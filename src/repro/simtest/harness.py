@@ -33,14 +33,21 @@ Invariants checked (named for shrinking identity):
   tier (real :class:`~repro.net.server.ConnectionCore`, scripted
   connection faults, virtual-time retries) return exactly the model's
   top-k: wire trouble may cost retries, never correctness.
+* ``temporal-equivalence`` — every time-filtered / recency-weighted
+  query against the time-sliced index equals the naive temporal
+  oracle's full-scan answer.
+* ``retention`` — after every retention pass, no live slice's span
+  ends behind the horizon, and no document the oracle has expired is
+  ever served again.
 * ``unhandled-exception`` — nothing under test raised unexpectedly.
 
-The three ``inject_bug`` hooks flip known-bad behaviours so CI can
-prove the harness actually catches what it claims to catch:
-``lost-wal-record`` applies every 5th mutation to the index while
-skipping its WAL append; ``stale-cache`` swaps in a result cache that
-ignores epochs; ``dropped-push`` silently discards every 3rd
-subscriber notification.
+The ``inject_bug`` hooks flip known-bad behaviours so CI can prove the
+harness actually catches what it claims to catch: ``lost-wal-record``
+applies every 5th mutation to the index while skipping its WAL append;
+``stale-cache`` swaps in a result cache that ignores epochs;
+``dropped-push`` silently discards every 3rd subscriber notification;
+``stale-slice`` resurrects every retention-dropped slice so expired
+documents never actually leave the query path.
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ from __future__ import annotations
 import random
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.partition import HashPartitioner
 from repro.cluster.service import ClusterConfig, ClusterService
@@ -72,10 +79,19 @@ from repro.simtest.workload import (
 from repro.spatial.geometry import UNIT_SQUARE
 from repro.streaming.service import StreamConfig
 from repro.streaming.tail import StreamCheckpoint
+from repro.temporal.index import TemporalConfig, TemporalIndex
+from repro.temporal.model import (
+    RecencySpec,
+    TemporalDocument,
+    TemporalQuery,
+    TimeRange,
+    slice_span,
+)
+from repro.temporal.oracle import NaiveTemporalIndex
 
 __all__ = ["BUGS", "SimFailure", "SimReport", "run_seed", "run_trace", "shrink_failure"]
 
-BUGS = ("lost-wal-record", "stale-cache", "dropped-push")
+BUGS = ("lost-wal-record", "stale-cache", "dropped-push", "stale-slice")
 
 
 @dataclass(frozen=True)
@@ -231,6 +247,49 @@ class _Simulation:
             self.trackers[name] = StreamCheckpoint(name)
             self.owned[name] = {}
             self._drops_seen[name] = 0
+        self._setup_temporal(cfg.get("temporal"))
+
+    def _setup_temporal(self, tcfg: Optional[Dict]) -> None:
+        """The temporal sub-system and its naive oracle (single mode).
+
+        Lives beside the durable single-node stack rather than inside
+        it: the temporal invariants (exact equivalence, retention) are
+        about slice bookkeeping and pruning, which an in-memory index
+        exercises fully.
+        """
+        self.temporal: Optional[TemporalIndex] = None
+        self.toracle: Optional[NaiveTemporalIndex] = None
+        self.t_expired: Set[int] = set()
+        if tcfg is None:
+            return  # pre-temporal trace shape
+        config = TemporalConfig(
+            slice_width=tcfg["slice_width"],
+            retention_age=tcfg["retention_age"],
+            page_size=256,
+        )
+        self.temporal = TemporalIndex(self.space, config)
+        self.toracle = NaiveTemporalIndex(
+            self.space, tcfg["slice_width"], tcfg["retention_age"]
+        )
+        for rec in sorted(
+            tcfg["initial"], key=lambda r: (r["ts"], r["doc"]["id"])
+        ):
+            tdoc = TemporalDocument(doc_from_dict(rec["doc"]), rec["ts"])
+            self.temporal.insert(tdoc)
+            self.toracle.insert(tdoc)
+        if self.bug == "stale-slice":
+            temporal = self.temporal
+            real_drop = temporal._drop
+
+            def leaky_drop(sid: int) -> None:
+                s = temporal._slices.get(sid)
+                real_drop(sid)
+                if s is not None:
+                    # The bug: the dropped slice is resurrected, so its
+                    # documents never leave the query path.
+                    temporal._slices[sid] = s
+
+            temporal._drop = leaky_drop
 
     def _setup_cluster(self, initial) -> None:
         cfg = self.trace["config"]
@@ -361,6 +420,11 @@ class _Simulation:
             "register": self._do_register,
             "poll": self._do_poll,
             "kill_resume": self._do_kill_resume,
+            "t_insert": self._do_t_insert,
+            "t_delete": self._do_t_delete,
+            "t_query": self._do_t_query,
+            "t_advance": self._do_t_advance,
+            "t_retention": self._do_t_retention,
         }
 
     def _do_mutation(self, step: Dict) -> None:
@@ -567,6 +631,107 @@ class _Simulation:
         # Resume queued fresh snapshots; drain them so delivered state
         # reflects the reconnect.
         self._do_poll({"op": "poll", "sub": name})
+
+    # ------------------------------------------------------------------
+    # Temporal handlers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _temporal_query(d: Dict) -> TemporalQuery:
+        tr = d.get("time_range")
+        rc = d.get("recency")
+        return TemporalQuery(
+            query_from_dict(d["query"]),
+            TimeRange(tr[0], tr[1]) if tr is not None else None,
+            RecencySpec(rc["half_life"], rc["origin"]) if rc is not None else None,
+        )
+
+    def _do_t_insert(self, step: Dict) -> None:
+        if self.temporal is None:
+            return
+        doc = doc_from_dict(step["doc"])
+        ts = step["ts"]
+        if self.temporal.get(doc.doc_id) is not None:
+            return  # duplicate id (possible in shrunk traces): skip
+        if not self.temporal.accepts(ts):
+            return  # behind the horizon: skip on BOTH sides
+        tdoc = TemporalDocument(doc, ts)
+        self.temporal.insert(tdoc)
+        self.toracle.insert(tdoc)
+        self.events.append({"op": "t_insert", "id": doc.doc_id, "ts": ts})
+
+    def _do_t_delete(self, step: Dict) -> None:
+        if self.temporal is None:
+            return
+        doc_id = step["doc_id"]
+        if self.toracle.get(doc_id) is None:
+            return  # already deleted or expired (possible in shrunk traces)
+        self.temporal.delete_document(doc_id)
+        self.toracle.delete(doc_id)
+        self.events.append({"op": "t_delete", "id": doc_id})
+
+    def _do_t_query(self, step: Dict) -> None:
+        if self.temporal is None:
+            return
+        tq = self._temporal_query(step)
+        got = result_pairs(self.temporal.query(tq, self.ranker))
+        expected = result_pairs(self.toracle.query(tq, self.ranker))
+        if got != expected:
+            raise InvariantViolation(
+                "temporal-equivalence",
+                f"temporal query {step['query']['words']} "
+                f"(range {step.get('time_range')}, "
+                f"recency {step.get('recency')}) returned {got}, "
+                f"the naive oracle says {expected}",
+            )
+        self.events.append({"op": "t_query", "results": got})
+
+    def _do_t_advance(self, step: Dict) -> None:
+        if self.temporal is None:
+            return
+        self.temporal.advance(step["now"])
+        self.toracle.advance(step["now"])
+        self.events.append({"op": "t_advance", "now": step["now"]})
+
+    def _do_t_retention(self, step: Dict) -> None:
+        if self.temporal is None:
+            return
+        dropped = self.temporal.expire(step["now"])
+        expired = self.toracle.expire(step["now"])
+        self.t_expired.update(expired)
+        # (1) Structural: every live slice's span must end after the
+        # retention horizon.
+        cutoff = self.temporal.watermark - self.temporal.config.retention_age
+        width = self.temporal.config.slice_width
+        for sid in self.temporal.live_slice_ids():
+            if slice_span(sid, width)[1] <= cutoff:
+                raise InvariantViolation(
+                    "retention",
+                    f"slice {sid} (span ends "
+                    f"{slice_span(sid, width)[1]}) survived a retention "
+                    f"pass with horizon {cutoff}",
+                )
+        # (2) Observable: no expired document may ever be served again.
+        probe = self._temporal_query(step["probe"])
+        served = result_pairs(self.temporal.query(probe, self.ranker))
+        stale = sorted(p[0] for p in served if p[0] in self.t_expired)
+        if stale:
+            raise InvariantViolation(
+                "retention",
+                f"expired documents {stale} still served after a "
+                f"retention pass at now={step['now']}",
+            )
+        expected = result_pairs(self.toracle.query(probe, self.ranker))
+        if served != expected:
+            raise InvariantViolation(
+                "temporal-equivalence",
+                f"post-retention probe returned {served}, "
+                f"the naive oracle says {expected}",
+            )
+        self.events.append({
+            "op": "t_retention",
+            "dropped_slices": dropped,
+            "expired_docs": expired,
+        })
 
     # ------------------------------------------------------------------
     # Cluster handlers

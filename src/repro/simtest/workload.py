@@ -18,6 +18,7 @@ function of the trace.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, List, Optional, Set
 
@@ -96,6 +97,17 @@ def _rand_query(rng: random.Random) -> Dict:
         "words": sorted(rng.sample(VOCAB, n_words)),
         "k": rng.choice([3, 5, 10]),
         "semantics": rng.choice(["and", "or", "or"]),
+    }
+
+
+def _temporal_probe(k: int = 400) -> Dict:
+    """The temporal analogue of ``_state_probe``: an all-time OR query
+    over the whole vocabulary with a huge k, pinning the entire live
+    temporal document set (what retention is checked against)."""
+    return {
+        "query": _state_probe(k),
+        "time_range": None,
+        "recency": None,
     }
 
 
@@ -178,6 +190,76 @@ def _single_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
         })
     pool = _QueryPool(rng, reuse=0.3)
 
+    # --- temporal sub-population --------------------------------------
+    # A separate id space (>= 100000) feeds the time-sliced index; its
+    # virtual "now" only moves forward, and generated insert timestamps
+    # always sit strictly inside the retention window *at generation
+    # time*.  Removing steps can only lower the runtime watermark, so
+    # every timestamp stays valid in every shrunk subsequence.
+    slice_width = rng.choice([5.0, 10.0])
+    retention_age = slice_width * rng.choice([3, 4])
+    next_tid = 100000
+    t_live: Dict[int, float] = {}
+    tnow = 0.0
+    t_initial: List[Dict] = []
+    for _ in range(rng.randint(6, 14)):
+        ts = round(rng.uniform(0.0, 2.0 * slice_width), 3)
+        t_initial.append({"doc": _rand_doc(rng, next_tid), "ts": ts})
+        t_live[next_tid] = ts
+        next_tid += 1
+        tnow = max(tnow, ts)
+
+    def prune_expired() -> None:
+        # Conservative mirror of the retention rule: the runtime
+        # watermark never exceeds the generator's ``tnow`` (every insert
+        # timestamp and every advance target is <= tnow when emitted),
+        # so any slice still alive under tnow is alive at runtime —
+        # t_delete steps therefore only ever name live documents.
+        cutoff = tnow - retention_age
+        for doc_id, ts in list(t_live.items()):
+            slice_end = (math.floor(ts / slice_width) + 1) * slice_width
+            if slice_end <= cutoff:
+                del t_live[doc_id]
+
+    def temporal_query() -> Dict:
+        step = {"op": "t_query", "query": _rand_query(rng),
+                "time_range": None, "recency": None}
+        if rng.random() < 0.6:
+            start = round(tnow - rng.uniform(slice_width, 3 * slice_width), 3)
+            step["time_range"] = [
+                start, round(start + rng.uniform(slice_width, 3 * slice_width), 3)
+            ]
+        if rng.random() < 0.5:
+            step["recency"] = {
+                "half_life": slice_width * rng.choice([1.0, 2.0]),
+                "origin": round(tnow, 3),
+            }
+        return step
+
+    def temporal_step() -> Dict:
+        nonlocal next_tid, tnow
+        roll = rng.random()
+        if roll < 0.40:
+            if t_live and rng.random() < 0.25:
+                doc_id = rng.choice(sorted(t_live))
+                del t_live[doc_id]
+                return {"op": "t_delete", "doc_id": doc_id}
+            # Strictly inside the window: < 0.8 of the retention age
+            # behind "now", so no subsequence can ever expire it first.
+            ts = round(max(0.0, tnow - rng.uniform(0.0, 0.8 * retention_age)), 3)
+            doc = _rand_doc(rng, next_tid)
+            t_live[next_tid] = ts
+            next_tid += 1
+            return {"op": "t_insert", "doc": doc, "ts": ts}
+        if roll < 0.75:
+            return temporal_query()
+        if roll < 0.90:
+            tnow = round(tnow + rng.uniform(0.5 * slice_width, 1.5 * slice_width), 3)
+            prune_expired()
+            return {"op": "t_advance", "now": tnow}
+        prune_expired()
+        return {"op": "t_retention", "now": tnow, "probe": _temporal_probe()}
+
     def mutation_step() -> Dict:
         nonlocal next_id
         roll = rng.random()
@@ -219,19 +301,19 @@ def _single_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
             })
     while len(trace_steps) < n_steps:
         roll = rng.random()
-        if roll < 0.40:
+        if roll < 0.32:
             trace_steps.append(mutation_step())
-        elif roll < 0.55:
+        elif roll < 0.44:
             trace_steps.append({"op": "query", "query": pool.next()})
-        elif roll < 0.65:
+        elif roll < 0.52:
             trace_steps.append({
                 "op": "net_query",
                 "query": pool.next(),
                 "faults": net_faults(),
             })
-        elif roll < 0.70:
+        elif roll < 0.56:
             trace_steps.append({"op": "checkpoint"})
-        elif roll < 0.78:
+        elif roll < 0.62:
             burst = [mutation_step() for _ in range(rng.randint(1, 4))]
             trace_steps.append({
                 "op": "crash",
@@ -242,17 +324,19 @@ def _single_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
                 "burst": burst,
                 "probes": [_state_probe(), pool.next(), pool.next()],
             })
-        elif roll < 0.82:
+        elif roll < 0.65:
             sub = rng.choice(subscribers)
             trace_steps.append({
                 "op": "register", "sub": sub["name"],
                 "query": pool.next(), "alpha": 0.5,
             })
-        elif roll < 0.94:
+        elif roll < 0.74:
             trace_steps.append({"op": "poll", "sub": rng.choice(subscribers)["name"]})
-        else:
+        elif roll < 0.78:
             trace_steps.append({"op": "kill_resume",
                                 "sub": rng.choice(subscribers)["name"]})
+        else:
+            trace_steps.append(temporal_step())
     return {
         "version": 1,
         "seed": seed,
@@ -261,6 +345,11 @@ def _single_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
             "initial_docs": initial,
             "sync_every": rng.choice([1, 1, 1, 2, 4]),
             "subscribers": subscribers,
+            "temporal": {
+                "slice_width": slice_width,
+                "retention_age": retention_age,
+                "initial": t_initial,
+            },
         },
         "steps": trace_steps,
     }

@@ -1,0 +1,36 @@
+"""Temporal top-k: time-sliced partitions, recency scoring, retention.
+
+See :mod:`repro.temporal.model` for the query/document vocabulary,
+:mod:`repro.temporal.index` for the rolling sliced index,
+:mod:`repro.temporal.oracle` for the naive reference implementation,
+and :mod:`repro.temporal.cluster` for sharding composed with slicing.
+"""
+
+from repro.temporal.index import TemporalConfig, TemporalIndex, TimeSlice
+from repro.temporal.model import (
+    RecencySpec,
+    TemporalDocument,
+    TemporalQuery,
+    TimeRange,
+    recency_weight,
+    slice_of,
+    slice_span,
+)
+from repro.temporal.oracle import NaiveTemporalIndex
+from repro.temporal.cluster import TemporalCluster, TemporalClusterAnswer
+
+__all__ = [
+    "NaiveTemporalIndex",
+    "RecencySpec",
+    "TemporalCluster",
+    "TemporalClusterAnswer",
+    "TemporalConfig",
+    "TemporalDocument",
+    "TemporalIndex",
+    "TemporalQuery",
+    "TimeRange",
+    "TimeSlice",
+    "recency_weight",
+    "slice_of",
+    "slice_span",
+]

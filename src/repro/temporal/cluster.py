@@ -1,0 +1,150 @@
+"""Sharding composed with time slicing.
+
+``TemporalCluster`` shows that the two partitioning axes are
+orthogonal: a *spatial/hash* partitioner (the cluster layer's existing
+:class:`~repro.cluster.partition.HashPartitioner` /
+:class:`~repro.cluster.partition.SpatialGridPartitioner`) decides which
+shard owns a document, and *within* every shard a
+:class:`~repro.temporal.index.TemporalIndex` slices that shard's
+documents by time.  A query then prunes along both axes: whole shards
+are skipped when their temporal upper bound falls strictly below the
+running k-th score (the same rule ``ClusterService`` uses), and inside
+each visited shard whole time slices are skipped by the slice-level
+bounds.
+
+Merging per-shard answers is exact because a document's score does not
+depend on which shard holds it and every document lives on exactly one
+shard: the global top-k is a subset of the union of per-shard top-k
+lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.model.query import TopKQuery
+from repro.model.results import ScoredDoc, TopKCollector
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import Rect
+from repro.temporal.index import TemporalConfig, TemporalIndex
+from repro.temporal.model import TemporalDocument, TemporalQuery
+
+__all__ = ["TemporalCluster", "TemporalClusterAnswer"]
+
+
+@dataclass(slots=True)
+class TemporalClusterAnswer:
+    """One scatter-gather answer with its pruning evidence."""
+
+    results: List[ScoredDoc]
+    shards_scanned: int = 0
+    shards_skipped: int = 0
+    slice_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+
+class TemporalCluster:
+    """Per-shard temporal indexes behind one partitioner."""
+
+    def __init__(
+        self,
+        partitioner,
+        shards: Sequence[TemporalIndex],
+        ranker: Optional[Ranker] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("temporal cluster needs at least one shard")
+        self.partitioner = partitioner
+        self.shards = list(shards)
+        self.ranker = ranker if ranker is not None else Ranker(shards[0].space)
+        self.queries = 0
+        self.shards_scanned = 0
+        self.shards_skipped = 0
+
+    @classmethod
+    def build(
+        cls,
+        space: Rect,
+        documents: Iterable[TemporalDocument],
+        partitioner,
+        config: Optional[TemporalConfig] = None,
+        *,
+        ranker: Optional[Ranker] = None,
+    ) -> "TemporalCluster":
+        num_shards = partitioner.num_shards
+        shards = [TemporalIndex(space, config) for _ in range(num_shards)]
+        cluster = cls(partitioner, shards, ranker=ranker)
+        for tdoc in sorted(
+            documents, key=lambda t: (t.timestamp, t.doc_id)
+        ):
+            cluster.insert(tdoc)
+        return cluster
+
+    # ------------------------------------------------------------------
+    # Mutations / time control — routed, then fanned out
+    # ------------------------------------------------------------------
+    def insert(self, tdoc: TemporalDocument) -> None:
+        self.shards[self.partitioner.shard_of(tdoc.doc)].insert(tdoc)
+
+    def delete(self, ref: Union[TemporalDocument, int]) -> bool:
+        if isinstance(ref, TemporalDocument):
+            return self.shards[
+                self.partitioner.shard_of(ref.doc)
+            ].delete_document(ref)
+        return any(shard.delete_document(ref) for shard in self.shards)
+
+    def advance(self, now: float) -> None:
+        for shard in self.shards:
+            shard.advance(now)
+
+    def expire(self, now: Optional[float] = None) -> Dict[int, List[int]]:
+        """Retention across every shard; ``{shard: dropped slice ids}``."""
+        return {
+            i: shard.expire(now) for i, shard in enumerate(self.shards)
+        }
+
+    @property
+    def num_documents(self) -> int:
+        return sum(shard.num_documents for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(
+        self, query: Union[TemporalQuery, TopKQuery]
+    ) -> TemporalClusterAnswer:
+        """Exact scatter-gather with bound-ordered shard visits."""
+        tq = query if isinstance(query, TemporalQuery) else TemporalQuery(query)
+        bounds: List = []
+        for i, shard in enumerate(self.shards):
+            bound = shard.upper_bound(tq, self.ranker)
+            if bound is not None:
+                bounds.append((bound, i, shard))
+        # Best shard first; deterministic tie-break on shard id.
+        bounds.sort(key=lambda item: (-item[0], item[1]))
+        collector = TopKCollector(tq.k)
+        answer = TemporalClusterAnswer(results=[])
+        scanned = 0
+        for bound, i, shard in bounds:
+            # Strict: a tied bound can still win on the doc-id tie-break.
+            if bound < collector.delta:
+                answer.shards_skipped = len(bounds) - scanned
+                break
+            scanned += 1
+            for sd in shard.query(tq, self.ranker):
+                collector.offer(sd.doc_id, sd.score)
+            answer.slice_stats[i] = dict(shard.last_query_stats)
+        answer.shards_scanned = scanned
+        answer.results = collector.results()
+        self.queries += 1
+        self.shards_scanned += scanned
+        self.shards_skipped += answer.shards_skipped
+        return answer
+
+    def query(
+        self,
+        query: Union[TemporalQuery, TopKQuery],
+        ranker: Optional[Ranker] = None,
+    ) -> List[ScoredDoc]:
+        """Results-only convenience matching the index signature."""
+        return self.search(query).results

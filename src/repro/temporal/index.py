@@ -1,0 +1,907 @@
+"""The temporal index: rolling time-sliced I3 partitions.
+
+``TemporalIndex`` stores :class:`~repro.temporal.model.TemporalDocument`
+objects in fixed-width time slices, each backed by its own
+:class:`~repro.core.index.I3Index`.  The slice a document lives in is a
+pure function of its timestamp (``slice_of``), which buys three things:
+
+* **hot-window pruning** — a query's time range selects slices up
+  front, and each surviving slice advertises an admissible score upper
+  bound (spatial bound x keyword-weight bound x recency decay at the
+  slice's newest relevant timestamp), so the best-first merge skips
+  whole slices whose bound falls strictly below the current k-th score;
+* **rolling retention** — expiry drops whole slices in O(1) index work
+  each, never touching a per-document delete path;
+* **seal-grained durability** — slices behind the watermark seal and
+  checkpoint through :class:`~repro.core.recovery.DurableIndex`, while
+  the hot slice stays a cheap mutable in-memory index.
+
+Exactness: the recency term is a per-document monotone multiplier (see
+:mod:`repro.temporal.model`), so slice skipping uses the same strict
+``bound < delta`` rule the cluster router uses and answers remain
+byte-identical to a naive full scan — the property the temporal
+equivalence suite and the simtest ``temporal-equivalence`` invariant
+pin down against :class:`~repro.temporal.oracle.NaiveTemporalIndex`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.index import I3Index, MutationEvent
+from repro.core.recovery import DurableIndex
+from repro.model.document import SpatialDocument
+from repro.model.query import Semantics, TopKQuery
+from repro.model.results import ScoredDoc, TopKCollector
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import Rect
+from repro.storage.fs import OS_FILESYSTEM, FileSystem
+from repro.storage.iostats import IOStats
+from repro.temporal.model import (
+    RecencySpec,
+    TemporalDocument,
+    TemporalQuery,
+    TimeRange,
+    recency_weight,
+    slice_of,
+    slice_span,
+)
+
+__all__ = ["TemporalConfig", "TemporalIndex", "TimeSlice"]
+
+MANIFEST_NAME = "slices.json"
+META_NAME = "meta.json"
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalConfig:
+    """Sizing and retention policy for a :class:`TemporalIndex`.
+
+    Attributes:
+        slice_width: Width of one time slice, in timestamp units.
+        retention_age: How far behind the watermark data is kept;
+            ``None`` keeps everything forever.  Retention only ever
+            drops *whole sealed slices* whose span has fully aged out.
+        page_size: Page size of each per-slice I3 index.
+        eta: Signature length of each per-slice I3 index.
+        sync_every: Group-commit interval for durable slices.
+    """
+
+    slice_width: float = 3600.0
+    retention_age: Optional[float] = None
+    page_size: int = 4096
+    eta: int = 300
+    sync_every: int = 1
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.slice_width) and self.slice_width > 0):
+            raise ValueError(
+                f"slice_width must be positive, got {self.slice_width}"
+            )
+        if self.retention_age is not None and not (
+            math.isfinite(self.retention_age) and self.retention_age >= 0
+        ):
+            raise ValueError(
+                f"retention_age must be non-negative, got {self.retention_age}"
+            )
+
+
+class TimeSlice:
+    """One time slice: an I3 index plus the documents it owns.
+
+    ``docs`` keeps the full :class:`TemporalDocument` per id — that is
+    what makes interval filtering, recency weighting, retention events,
+    and delete-by-id possible without touching the page files.
+    ``min_ts``/``max_ts`` are sticky envelope bounds (deletes never
+    shrink them), which keeps the recency decay bound admissible.
+    """
+
+    __slots__ = (
+        "slice_id",
+        "start",
+        "end",
+        "index",
+        "durable",
+        "docs",
+        "min_ts",
+        "max_ts",
+        "sealed",
+        "dirty",
+    )
+
+    def __init__(self, slice_id: int, width: float, index: I3Index) -> None:
+        self.slice_id = slice_id
+        self.start, self.end = slice_span(slice_id, width)
+        self.index = index
+        self.durable: Optional[DurableIndex] = None
+        self.docs: Dict[int, TemporalDocument] = {}
+        self.min_ts = math.inf
+        self.max_ts = -math.inf
+        self.sealed = False
+        self.dirty = False
+
+    @property
+    def store(self):
+        """The mutation target: the durable wrapper when present."""
+        return self.durable if self.durable is not None else self.index
+
+    def insert(self, tdoc: TemporalDocument) -> None:
+        self.store.insert_document(tdoc.doc)
+        self.docs[tdoc.doc_id] = tdoc
+        if tdoc.timestamp < self.min_ts:
+            self.min_ts = tdoc.timestamp
+        if tdoc.timestamp > self.max_ts:
+            self.max_ts = tdoc.timestamp
+        if self.sealed:
+            self.dirty = True
+
+    def delete(self, doc_id: int) -> Optional[TemporalDocument]:
+        tdoc = self.docs.pop(doc_id, None)
+        if tdoc is None:
+            return None
+        self.store.delete_document(tdoc.doc)
+        if self.sealed:
+            self.dirty = True
+        return tdoc
+
+
+class TemporalIndex:
+    """Rolling time-sliced top-k spatial keyword index.
+
+    The index quacks like :class:`I3Index` where the serving stack
+    cares (``space``, ``epoch``, ``stats``, ``query``, document
+    mutations, keyword bounds, mutation listeners), so
+    ``QueryService`` and ``StreamingService`` compose with it
+    unchanged; plain :class:`TopKQuery` objects are answered over all
+    time with no decay.
+
+    Attributes:
+        space: Shared data-space rectangle of every slice index.
+        config: Slice width and retention policy.
+        stats: One shared I/O counter across all slices (per-query
+            attribution via ``io_sink`` keeps working).
+        watermark: High-water mark of observed time — the max of every
+            inserted timestamp and every ``advance(now)`` call.  Slices
+            whose span ends at or before it are sealed.
+        epoch: Mutation counter bumped by every insert/delete and every
+            retention drop, so external result caches self-invalidate
+            exactly like they do for a single I3 index.
+    """
+
+    def __init__(
+        self,
+        space: Rect,
+        config: Optional[TemporalConfig] = None,
+        *,
+        durable_root: Optional[str] = None,
+        fs: Optional[FileSystem] = None,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        self.space = space
+        self.config = config if config is not None else TemporalConfig()
+        self.stats = stats if stats is not None else IOStats()
+        self.fs = fs if fs is not None else OS_FILESYSTEM
+        self.durable_root = durable_root
+        self._slices: Dict[int, TimeSlice] = {}
+        self.watermark = -math.inf
+        self.epoch = 0
+        self.num_documents = 0
+        self.retention_drops = 0
+        self.dropped_documents = 0
+        self.queries = 0
+        self.slices_scanned = 0
+        self.sealed_considered = 0
+        self.sealed_scanned = 0
+        self.last_query_stats: Dict[str, int] = {}
+        self._listeners: List = []
+        self._metrics = None
+        if durable_root is not None:
+            self.fs.makedirs(durable_root)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        space: Rect,
+        documents: Iterable[TemporalDocument],
+        config: Optional[TemporalConfig] = None,
+        *,
+        durable_root: Optional[str] = None,
+        fs: Optional[FileSystem] = None,
+        stats: Optional[IOStats] = None,
+    ) -> "TemporalIndex":
+        """Build an index from a timestamped corpus.
+
+        Documents are inserted oldest-first so the watermark never
+        outruns a pending insert past the retention horizon.
+        """
+        index = cls(
+            space, config, durable_root=durable_root, fs=fs, stats=stats
+        )
+        for tdoc in sorted(
+            documents, key=lambda t: (t.timestamp, t.doc_id)
+        ):
+            index.insert(tdoc)
+        return index
+
+    @classmethod
+    def open(
+        cls,
+        durable_root: str,
+        *,
+        fs: Optional[FileSystem] = None,
+        stats: Optional[IOStats] = None,
+    ) -> "TemporalIndex":
+        """Reopen a persisted temporal index from its manifest.
+
+        Restores to the last per-slice checkpoint: each slice directory
+        is opened through :class:`DurableIndex`; if its recovered LSN
+        disagrees with the LSN recorded in the slice's ``meta.json``
+        (a crash landed between a checkpoint and its sidecar, or a WAL
+        tail ran past the last checkpoint), the slice is rebuilt from
+        the sidecar — the sidecar and checkpoint are written together,
+        so the pair is the atomic unit of temporal durability.
+        """
+        fs = fs if fs is not None else OS_FILESYSTEM
+        manifest_path = os.path.join(durable_root, MANIFEST_NAME)
+        if not fs.exists(manifest_path):
+            raise FileNotFoundError(
+                f"{durable_root} is not a temporal index (missing {MANIFEST_NAME})"
+            )
+        with fs.open(manifest_path, "rb") as fh:
+            manifest = json.loads(fh.read().decode("utf-8"))
+        cfg = manifest["config"]
+        config = TemporalConfig(
+            slice_width=cfg["slice_width"],
+            retention_age=cfg["retention_age"],
+            page_size=cfg["page_size"],
+            eta=cfg["eta"],
+            sync_every=cfg["sync_every"],
+        )
+        space = Rect(*manifest["space"])
+        index = cls(
+            space, config, durable_root=durable_root, fs=fs, stats=stats
+        )
+        for sid in manifest["slices"]:
+            index._open_slice(int(sid))
+        stored = manifest["watermark"]
+        index.watermark = -math.inf if stored is None else stored
+        for s in index._slices.values():
+            if s.docs and s.max_ts > index.watermark:
+                index.watermark = s.max_ts
+        index._seal_pass()
+        index._refresh_gauges()
+        return index
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def accepts(self, ts: float) -> bool:
+        """Whether a document at ``ts`` is still inside the retention
+        horizon (its slice would not qualify for expiry right now)."""
+        if self.config.retention_age is None:
+            return math.isfinite(ts)
+        if not math.isfinite(ts):
+            return False
+        cutoff = self.watermark - self.config.retention_age
+        return slice_span(slice_of(ts, self.config.slice_width), self.config.slice_width)[1] > cutoff
+
+    def insert(self, tdoc: TemporalDocument) -> None:
+        """Insert a timestamped document.
+
+        Late arrivals into already-sealed (still-live) slices are
+        allowed — the slice is marked dirty and re-checkpointed at the
+        next ``checkpoint()``.  Inserts behind the retention horizon
+        are refused: their slice is already expired or about to be.
+        """
+        if not self.accepts(tdoc.timestamp):
+            raise ValueError(
+                f"timestamp {tdoc.timestamp} is behind the retention horizon "
+                f"(watermark {self.watermark}, "
+                f"retention_age {self.config.retention_age})"
+            )
+        if self.get(tdoc.doc_id) is not None:
+            raise ValueError(f"duplicate doc_id {tdoc.doc_id}")
+        sid = slice_of(tdoc.timestamp, self.config.slice_width)
+        s = self._slices.get(sid)
+        if s is None:
+            s = self._make_slice(sid)
+            self._slices[sid] = s
+        if s.durable is not None:
+            # Sidecar-first ordering: a crash between the two writes
+            # leaves an extra sidecar doc that the LSN check discards.
+            self._write_meta(s, extra=tdoc)
+        s.insert(tdoc)
+        self.num_documents += 1
+        self.epoch += 1
+        if tdoc.timestamp > self.watermark:
+            self.watermark = tdoc.timestamp
+        self._seal_pass()
+        self._emit(MutationEvent("insert", self.epoch, tdoc.doc))
+        self._refresh_gauges()
+
+    def insert_document(self, doc: Union[TemporalDocument, SpatialDocument], ts: Optional[float] = None) -> None:
+        """``I3Index``-shaped insert.  A plain :class:`SpatialDocument`
+        needs ``ts``; a :class:`TemporalDocument` carries its own."""
+        if isinstance(doc, TemporalDocument):
+            self.insert(doc)
+        else:
+            if ts is None:
+                raise ValueError("plain SpatialDocument insert needs ts=")
+            self.insert(TemporalDocument(doc, ts))
+
+    def delete_document(self, ref: Union[TemporalDocument, SpatialDocument, int]) -> bool:
+        """Delete by id (or by any document object carrying one)."""
+        if isinstance(ref, TemporalDocument):
+            doc_id = ref.doc_id
+        elif isinstance(ref, SpatialDocument):
+            doc_id = ref.doc_id
+        else:
+            doc_id = int(ref)
+        for s in self._slices.values():
+            if doc_id in s.docs:
+                tdoc = s.delete(doc_id)
+                if s.durable is not None:
+                    self._write_meta(s)
+                self.num_documents -= 1
+                self.epoch += 1
+                self._emit(MutationEvent("delete", self.epoch, tdoc.doc))
+                self._refresh_gauges()
+                return True
+        return False
+
+    def update_document(self, old: Union[TemporalDocument, SpatialDocument, int], new: TemporalDocument) -> None:
+        """Replace a document; emits its delete and insert halves."""
+        self.delete_document(old)
+        self.insert(new)
+
+    def get(self, doc_id: int) -> Optional[TemporalDocument]:
+        for s in self._slices.values():
+            tdoc = s.docs.get(doc_id)
+            if tdoc is not None:
+                return tdoc
+        return None
+
+    # ------------------------------------------------------------------
+    # Time control: sealing and retention
+    # ------------------------------------------------------------------
+    def advance(self, now: float) -> None:
+        """Advance the watermark to ``now`` (never backwards), sealing
+        any slice whose span has fully passed."""
+        if not math.isfinite(now):
+            raise ValueError(f"now must be finite, got {now}")
+        if now > self.watermark:
+            self.watermark = now
+            self._seal_pass()
+            self._refresh_gauges()
+
+    def expire(self, now: Optional[float] = None) -> List[int]:
+        """Apply retention: drop every slice whose span ends at or
+        before ``watermark - retention_age``.
+
+        Returns the dropped slice ids.  Cost is O(dropped slices) of
+        index work — documents leave with their slice, no per-document
+        delete path runs.  When mutation listeners are registered
+        (standing queries aging results out), one ``delete`` event per
+        dropped document is emitted *after* the slice has left the
+        query path.
+        """
+        if now is not None:
+            self.advance(now)
+        if self.config.retention_age is None:
+            return []
+        cutoff = self.watermark - self.config.retention_age
+        doomed = sorted(
+            sid for sid, s in self._slices.items() if s.end <= cutoff
+        )
+        for sid in doomed:
+            self._drop(sid)
+        if doomed:
+            self._refresh_gauges()
+        return doomed
+
+    def _seal_pass(self) -> None:
+        for s in self._slices.values():
+            if not s.sealed and s.end <= self.watermark:
+                s.sealed = True
+                s.dirty = True
+                if self.durable_root is not None:
+                    self._persist_slice(s)
+
+    def _drop(self, sid: int) -> None:
+        """Drop one slice: O(1) index bookkeeping plus file unlinks.
+
+        The slice leaves the query path before any observer runs; the
+        simtest ``stale-slice`` canary is exactly this method failing
+        to make the slice unreachable.
+        """
+        s = self._slices.pop(sid)
+        self.num_documents -= len(s.docs)
+        self.retention_drops += 1
+        self.dropped_documents += len(s.docs)
+        self.epoch += 1
+        if s.durable is not None:
+            s.durable.close()
+            self._remove_slice_files(sid)
+        if self.durable_root is not None:
+            self._write_manifest()
+        if self._listeners:
+            for doc_id in sorted(s.docs):
+                self.epoch += 1
+                self._emit(
+                    MutationEvent("delete", self.epoch, s.docs[doc_id].doc)
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: Union[TemporalQuery, TopKQuery],
+        ranker: Optional[Ranker] = None,
+        cache=None,
+        io_sink: Optional[IOStats] = None,
+    ) -> List[ScoredDoc]:
+        """Answer a (possibly temporal) top-k query exactly.
+
+        Plain :class:`TopKQuery` objects are answered over all time
+        with no recency term — the shape ``QueryService`` and standing
+        queries use.  Caching follows the I3 contract: entries keyed by
+        ``(query, alpha)`` and stamped with :attr:`epoch`.
+        """
+        tq = query if isinstance(query, TemporalQuery) else TemporalQuery(query)
+        if ranker is None:
+            ranker = Ranker(self.space)
+
+        def run() -> List[ScoredDoc]:
+            if io_sink is None:
+                return self._search(tq, ranker)
+            with self.stats.tee(io_sink):
+                return self._search(tq, ranker)
+
+        if cache is None:
+            return run()
+        return cache.get_or_compute((tq, ranker.alpha), self.epoch, run)
+
+    def _slice_candidates(
+        self, tq: TemporalQuery, ranker: Ranker
+    ) -> Tuple[List[Tuple[float, int, TimeSlice, float]], int, int]:
+        """Rank live slices by admissible score upper bound.
+
+        Returns ``(ranked, outside, unmatched)`` where ``ranked`` is
+        ``(bound, slice_id, slice, decay_ub)`` sorted bound-descending
+        (newest slice first on ties — deterministic), ``outside``
+        counts slices rejected by the time range, and ``unmatched``
+        those rejected by keyword bounds.
+        """
+        tr = tq.time_range
+        ranked: List[Tuple[float, int, TimeSlice, float]] = []
+        outside = 0
+        unmatched = 0
+        phi_s_ub = ranker.spatial_upper_bound(tq.x, tq.y, self.space)
+        for sid in sorted(self._slices):
+            s = self._slices[sid]
+            if not s.docs:
+                continue
+            if tr is not None and not tr.overlaps_span(s.start, s.end):
+                outside += 1
+                continue
+            bounds = s.index.keyword_bounds(tq.words)
+            if not bounds or (
+                tq.semantics is Semantics.AND and len(bounds) < len(tq.words)
+            ):
+                unmatched += 1
+                continue
+            phi_t_ub = 0.0
+            for word in tq.words:
+                weight = bounds.get(word)
+                if weight is not None:
+                    phi_t_ub += weight
+            decay_ub = 1.0
+            if tq.recency is not None:
+                newest = s.max_ts
+                if tr is not None and tr.end < newest:
+                    newest = tr.end
+                decay_ub = recency_weight(tq.recency, newest)
+            bound = ranker.combine(phi_s_ub, phi_t_ub) * decay_ub
+            ranked.append((bound, sid, s, decay_ub))
+        ranked.sort(key=lambda item: (-item[0], -item[1]))
+        return ranked, outside, unmatched
+
+    def _search(self, tq: TemporalQuery, ranker: Ranker) -> List[ScoredDoc]:
+        collector = TopKCollector(tq.k)
+        ranked, outside, unmatched = self._slice_candidates(tq, ranker)
+        scanned = 0
+        sealed_scanned = 0
+        pruned = 0
+        for bound, _sid, s, decay_ub in ranked:
+            # Strict comparison: a slice whose bound ties the k-th score
+            # may still contribute via the smaller-doc-id tie-break.
+            if bound < collector.delta:
+                pruned = len(ranked) - scanned
+                break
+            scanned += 1
+            if s.sealed:
+                sealed_scanned += 1
+            self._scan_slice(s, tq, ranker, decay_ub, collector)
+        live = sum(1 for s in self._slices.values() if s.docs)
+        sealed_live = sum(
+            1 for s in self._slices.values() if s.docs and s.sealed
+        )
+        self.queries += 1
+        self.slices_scanned += scanned
+        self.sealed_considered += sealed_live
+        self.sealed_scanned += sealed_scanned
+        self.last_query_stats = {
+            "slices": live,
+            "sealed": sealed_live,
+            "scanned": scanned,
+            "sealed_scanned": sealed_scanned,
+            "pruned": pruned,
+            "outside_range": outside,
+            "unmatched": unmatched,
+        }
+        return collector.results()
+
+    def _scan_slice(
+        self,
+        s: TimeSlice,
+        tq: TemporalQuery,
+        ranker: Ranker,
+        decay_ub: float,
+        collector: TopKCollector,
+    ) -> None:
+        """Stream one slice best-first, stopping at the decay-adjusted
+        score bound.
+
+        The offered score recomputes the base from the stored document
+        (``score_document`` — the oracle's own code path), so the final
+        number is bit-identical to the naive scan by construction; the
+        streamed score only steers traversal order and the early stop.
+        """
+        tr = tq.time_range
+        spec = tq.recency
+        for sd in s.index.iter_query(tq.base, ranker):
+            if sd.score * decay_ub < collector.delta:
+                break
+            tdoc = s.docs.get(sd.doc_id)
+            if tdoc is None:
+                continue
+            ts = tdoc.timestamp
+            if tr is not None and not tr.contains(ts):
+                continue
+            base = ranker.score_document(tq.base, tdoc.doc)
+            if base is None:
+                continue
+            if spec is not None:
+                collector.offer(sd.doc_id, base * recency_weight(spec, ts))
+            else:
+                collector.offer(sd.doc_id, base)
+
+    def upper_bound(
+        self, query: Union[TemporalQuery, TopKQuery], ranker: Ranker
+    ) -> Optional[float]:
+        """Admissible upper bound on any document's final score here,
+        or ``None`` when no slice can contribute — the shard-routing
+        hook :class:`~repro.temporal.cluster.TemporalCluster` uses."""
+        tq = query if isinstance(query, TemporalQuery) else TemporalQuery(query)
+        ranked, _, _ = self._slice_candidates(tq, ranker)
+        if not ranked:
+            return None
+        return ranked[0][0]
+
+    def keyword_bound(self, word: str) -> Optional[float]:
+        """Max ``keyword_bound`` across live slices (router metadata)."""
+        best: Optional[float] = None
+        for s in self._slices.values():
+            bound = s.index.keyword_bound(word)
+            if bound is not None and (best is None or bound > best):
+                best = bound
+        return best
+
+    def keyword_bounds(self, words) -> Dict[str, float]:
+        bounds: Dict[str, float] = {}
+        for word in words:
+            bound = self.keyword_bound(word)
+            if bound is not None:
+                bounds[word] = bound
+        return bounds
+
+    # ------------------------------------------------------------------
+    # Mutation listeners (streaming seam)
+    # ------------------------------------------------------------------
+    def add_mutation_listener(self, listener) -> None:
+        self._listeners.append(listener)
+
+    def remove_mutation_listener(self, listener) -> None:
+        with contextlib.suppress(ValueError):
+            self._listeners.remove(listener)
+
+    def _emit(self, event: MutationEvent) -> None:
+        for listener in list(self._listeners):
+            listener(event)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Persist every slice (hot and dirty sealed ones included)."""
+        if self.durable_root is None:
+            raise ValueError("temporal index has no durable root")
+        for s in self._slices.values():
+            if s.durable is None or s.dirty or not s.sealed:
+                self._persist_slice(s)
+        self._write_manifest()
+
+    def close(self) -> None:
+        for s in self._slices.values():
+            if s.durable is not None:
+                s.durable.close()
+
+    def _slice_dir(self, sid: int) -> str:
+        assert self.durable_root is not None
+        return os.path.join(self.durable_root, f"slice-{sid}")
+
+    def _make_slice(self, sid: int) -> TimeSlice:
+        index = I3Index(
+            self.space,
+            eta=self.config.eta,
+            page_size=self.config.page_size,
+            stats=self.stats,
+        )
+        return TimeSlice(sid, self.config.slice_width, index)
+
+    def _persist_slice(self, s: TimeSlice) -> None:
+        if s.durable is None:
+            directory = self._slice_dir(s.slice_id)
+            if self.fs.exists(os.path.join(directory, DurableIndex.SNAPSHOT_NAME)):
+                self._remove_slice_files(s.slice_id)
+            s.durable = DurableIndex.create(
+                directory,
+                s.index,
+                sync_every=self.config.sync_every,
+                fs=self.fs,
+            )
+        else:
+            s.durable.checkpoint()
+        self._write_meta(s)
+        s.dirty = False
+        self._write_manifest()
+
+    def _write_meta(self, s: TimeSlice, extra: Optional[TemporalDocument] = None) -> None:
+        docs = list(s.docs.values())
+        if extra is not None:
+            docs.append(extra)
+        meta = {
+            "slice_id": s.slice_id,
+            "sealed": s.sealed,
+            "lsn": s.durable.last_lsn if s.durable is not None else 0,
+            "docs": [
+                {
+                    "id": t.doc_id,
+                    "x": t.doc.x,
+                    "y": t.doc.y,
+                    "terms": dict(t.doc.terms),
+                    "ts": t.timestamp,
+                }
+                for t in docs
+            ],
+        }
+        if extra is not None:
+            # The extra doc is being logged ahead of its index insert:
+            # record the LSN it will commit at, so a clean shutdown
+            # (where the insert did land) passes the LSN check.
+            meta["lsn"] += 1
+        self._atomic_json(
+            os.path.join(self._slice_dir(s.slice_id), META_NAME), meta
+        )
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": 1,
+            "space": [
+                self.space.min_x,
+                self.space.min_y,
+                self.space.max_x,
+                self.space.max_y,
+            ],
+            "config": {
+                "slice_width": self.config.slice_width,
+                "retention_age": self.config.retention_age,
+                "page_size": self.config.page_size,
+                "eta": self.config.eta,
+                "sync_every": self.config.sync_every,
+            },
+            "watermark": self.watermark if math.isfinite(self.watermark) else None,
+            "slices": sorted(
+                sid for sid, s in self._slices.items() if s.durable is not None
+            ),
+        }
+        self._atomic_json(
+            os.path.join(self.durable_root, MANIFEST_NAME), manifest
+        )
+
+    def _atomic_json(self, path: str, payload: Dict) -> None:
+        tmp = path + ".tmp"
+        with self.fs.open(tmp, "wb") as fh:
+            fh.write(json.dumps(payload, separators=(",", ":")).encode("utf-8"))
+            fh.flush()
+            self.fs.fsync(fh)
+        self.fs.replace(tmp, path)
+
+    def _remove_slice_files(self, sid: int) -> None:
+        directory = self._slice_dir(sid)
+        for name in (
+            DurableIndex.SNAPSHOT_NAME,
+            DurableIndex.WAL_NAME,
+            META_NAME,
+        ):
+            path = os.path.join(directory, name)
+            if self.fs.exists(path):
+                self.fs.remove(path)
+        # FileSystem has no rmdir seam; best-effort on the real OS.
+        with contextlib.suppress(OSError):
+            os.rmdir(directory)
+
+    def _open_slice(self, sid: int) -> None:
+        directory = self._slice_dir(sid)
+        meta_path = os.path.join(directory, META_NAME)
+        with self.fs.open(meta_path, "rb") as fh:
+            meta = json.loads(fh.read().decode("utf-8"))
+        durable = DurableIndex.open(
+            directory, fs=self.fs, sync_every=self.config.sync_every
+        )
+        if durable.last_lsn != meta["lsn"]:
+            # Checkpoint and sidecar disagree (crash between the two
+            # writes, or a WAL tail past the sidecar): the sidecar pair
+            # is authoritative — rebuild the slice store from it.
+            durable.close()
+            self._remove_slice_files(sid)
+            s = self._make_slice(sid)
+            self._slices[sid] = s
+            for rec in meta["docs"]:
+                tdoc = TemporalDocument(
+                    SpatialDocument(rec["id"], rec["x"], rec["y"], rec["terms"]),
+                    rec["ts"],
+                )
+                s.index.insert_document(tdoc.doc)
+                s.docs[tdoc.doc_id] = tdoc
+                if tdoc.timestamp < s.min_ts:
+                    s.min_ts = tdoc.timestamp
+                if tdoc.timestamp > s.max_ts:
+                    s.max_ts = tdoc.timestamp
+            s.durable = DurableIndex.create(
+                directory,
+                s.index,
+                sync_every=self.config.sync_every,
+                fs=self.fs,
+            )
+            self._write_meta(s)
+        else:
+            s = TimeSlice(sid, self.config.slice_width, durable.index)
+            s.durable = durable
+            self._slices[sid] = s
+            ids_in_index = set()
+            for rec in meta["docs"]:
+                tdoc = TemporalDocument(
+                    SpatialDocument(rec["id"], rec["x"], rec["y"], rec["terms"]),
+                    rec["ts"],
+                )
+                if tdoc.doc_id in ids_in_index:
+                    continue
+                ids_in_index.add(tdoc.doc_id)
+                s.docs[tdoc.doc_id] = tdoc
+                if tdoc.timestamp < s.min_ts:
+                    s.min_ts = tdoc.timestamp
+                if tdoc.timestamp > s.max_ts:
+                    s.max_ts = tdoc.timestamp
+        s.sealed = bool(meta["sealed"])
+        self.num_documents += len(s.docs)
+
+    # ------------------------------------------------------------------
+    # Introspection / metrics
+    # ------------------------------------------------------------------
+    def live_slice_ids(self) -> List[int]:
+        return sorted(self._slices)
+
+    def hot_slice_ids(self) -> List[int]:
+        return sorted(sid for sid, s in self._slices.items() if not s.sealed)
+
+    @property
+    def skip_ratio(self) -> float:
+        """Cumulative fraction of live *sealed* slices queries skipped."""
+        if self.sealed_considered == 0:
+            return 0.0
+        return 1.0 - (self.sealed_scanned / self.sealed_considered)
+
+    def sealed_bytes(self) -> int:
+        return sum(
+            s.index.size_bytes for s in self._slices.values() if s.sealed
+        )
+
+    def slice_stats(self) -> Dict[str, float]:
+        hot_docs = sum(
+            len(s.docs) for s in self._slices.values() if not s.sealed
+        )
+        return {
+            "slices": len(self._slices),
+            "sealed_slices": sum(
+                1 for s in self._slices.values() if s.sealed
+            ),
+            "hot_docs": hot_docs,
+            "sealed_docs": self.num_documents - hot_docs,
+            "sealed_bytes": self.sealed_bytes(),
+            "documents": self.num_documents,
+            "retention_drops": self.retention_drops,
+            "dropped_documents": self.dropped_documents,
+            "queries": self.queries,
+            "slices_scanned": self.slices_scanned,
+            "skip_ratio": self.skip_ratio,
+        }
+
+    def bind_metrics(self, registry) -> None:
+        """Publish per-slice gauges into a service metrics registry."""
+        self._metrics = registry
+        registry.describe(
+            "temporal_slices", "Live time slices in the temporal index"
+        )
+        registry.describe(
+            "temporal_hot_docs", "Documents in unsealed (hot) slices"
+        )
+        registry.describe(
+            "temporal_sealed_bytes", "On-page bytes held by sealed slices"
+        )
+        registry.describe(
+            "temporal_retention_drops", "Slices dropped by retention"
+        )
+        registry.describe(
+            "temporal_skip_ratio",
+            "Cumulative fraction of sealed slices skipped by queries",
+        )
+        self._refresh_gauges()
+
+    def _refresh_gauges(self) -> None:
+        registry = self._metrics
+        if registry is None:
+            return
+        stats = self.slice_stats()
+        registry.gauge("temporal_slices").set(stats["slices"])
+        registry.gauge("temporal_sealed_slices").set(stats["sealed_slices"])
+        registry.gauge("temporal_hot_docs").set(stats["hot_docs"])
+        registry.gauge("temporal_sealed_bytes").set(stats["sealed_bytes"])
+        registry.gauge("temporal_retention_drops").set(
+            stats["retention_drops"]
+        )
+        registry.gauge("temporal_skip_ratio").set(stats["skip_ratio"])
+
+    def check_invariants(self) -> None:
+        """Structural invariants, used by tests and the simulation."""
+        seen: Dict[int, int] = {}
+        total = 0
+        for sid, s in self._slices.items():
+            start, end = slice_span(sid, self.config.slice_width)
+            assert (s.start, s.end) == (start, end)
+            for doc_id, tdoc in s.docs.items():
+                owner = slice_of(tdoc.timestamp, self.config.slice_width)
+                assert owner == sid, (
+                    f"doc {doc_id} ts {tdoc.timestamp} lives in slice {sid}, "
+                    f"belongs to {owner}"
+                )
+                assert doc_id not in seen, (
+                    f"doc {doc_id} present in slices {seen[doc_id]} and {sid}"
+                )
+                seen[doc_id] = sid
+                if s.docs:
+                    assert s.min_ts <= tdoc.timestamp <= s.max_ts
+            total += len(s.docs)
+            s.index.check_invariants()
+        assert total == self.num_documents, (
+            f"document count {self.num_documents} != slice total {total}"
+        )

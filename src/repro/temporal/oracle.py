@@ -1,0 +1,120 @@
+"""A naive full-scan mirror of the temporal index.
+
+``NaiveTemporalIndex`` is the executable specification the fast path is
+checked against: it keeps every live document in one dict, answers
+queries by scoring *everything*, and applies the retention rule by the
+same pure formula the real index uses (a document expires exactly when
+its slice's span has fully aged out behind the watermark).  The
+temporal equivalence suite and the simtest ``temporal-equivalence`` /
+``retention`` invariants compare :class:`TemporalIndex` answers against
+this class, so it must stay as simple as a specification should be.
+
+Scoring is shared code (``Ranker.score_document`` and
+``recency_weight``), which is what makes the byte-identical comparison
+meaningful rather than approximately-equal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Union
+
+from repro.model.document import SpatialDocument
+from repro.model.query import TopKQuery
+from repro.model.results import ScoredDoc, TopKCollector
+from repro.model.scoring import Ranker
+from repro.temporal.model import (
+    TemporalDocument,
+    TemporalQuery,
+    recency_weight,
+    slice_of,
+    slice_span,
+)
+
+__all__ = ["NaiveTemporalIndex"]
+
+
+class NaiveTemporalIndex:
+    """Reference implementation: dict of documents plus a full scan."""
+
+    def __init__(
+        self,
+        space,
+        slice_width: float,
+        retention_age: Optional[float] = None,
+    ) -> None:
+        self.space = space
+        self.slice_width = slice_width
+        self.retention_age = retention_age
+        self.watermark = -math.inf
+        self._docs: Dict[int, TemporalDocument] = {}
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._docs)
+
+    def insert(self, tdoc: TemporalDocument) -> None:
+        self._docs[tdoc.doc_id] = tdoc
+        if tdoc.timestamp > self.watermark:
+            self.watermark = tdoc.timestamp
+
+    def delete(self, ref: Union[TemporalDocument, SpatialDocument, int]) -> bool:
+        doc_id = ref if isinstance(ref, int) else ref.doc_id
+        return self._docs.pop(doc_id, None) is not None
+
+    def get(self, doc_id: int) -> Optional[TemporalDocument]:
+        return self._docs.get(doc_id)
+
+    def advance(self, now: float) -> None:
+        if now > self.watermark:
+            self.watermark = now
+
+    def expire(self, now: Optional[float] = None) -> List[int]:
+        """Apply the retention rule; returns the expired doc ids.
+
+        Same formula as the real index, computed independently: a
+        document expires when its *slice's* span ends at or before
+        ``watermark - retention_age``.
+        """
+        if now is not None:
+            self.advance(now)
+        if self.retention_age is None:
+            return []
+        cutoff = self.watermark - self.retention_age
+        doomed = sorted(
+            doc_id
+            for doc_id, tdoc in self._docs.items()
+            if slice_span(
+                slice_of(tdoc.timestamp, self.slice_width), self.slice_width
+            )[1]
+            <= cutoff
+        )
+        for doc_id in doomed:
+            del self._docs[doc_id]
+        return doomed
+
+    def query(
+        self,
+        query: Union[TemporalQuery, TopKQuery],
+        ranker: Optional[Ranker] = None,
+    ) -> List[ScoredDoc]:
+        tq = query if isinstance(query, TemporalQuery) else TemporalQuery(query)
+        if ranker is None:
+            ranker = Ranker(self.space)
+        collector = TopKCollector(tq.k)
+        tr = tq.time_range
+        spec = tq.recency
+        for doc_id in sorted(self._docs):
+            tdoc = self._docs[doc_id]
+            if tr is not None and not tr.contains(tdoc.timestamp):
+                continue
+            base = ranker.score_document(tq.base, tdoc.doc)
+            if base is None:
+                continue
+            if spec is not None:
+                collector.offer(
+                    doc_id, base * recency_weight(spec, tdoc.timestamp)
+                )
+            else:
+                collector.offer(doc_id, base)
+        return collector.results()

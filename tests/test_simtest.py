@@ -192,6 +192,10 @@ class TestCanaries:
         "lost-wal-record": {"prefix-durability"},
         "stale-cache": {"cache-coherence", "net-equivalence"},
         "dropped-push": {"stream-delivery"},
+        # A resurrected slice first surfaces either structurally (it
+        # survived past the horizon) or observably (an expired doc is
+        # served); both are the retention invariant.
+        "stale-slice": {"retention"},
     }
 
     @pytest.mark.parametrize("bug", BUGS)

@@ -1,0 +1,208 @@
+"""Temporal equivalence: the load-bearing correctness suite.
+
+For both temporal corpus scenarios (time-skewed recency decay and
+burst arrivals), 120 randomized queries mixing time-range filters,
+recency decay, both semantics and assorted k must return results
+**byte-identical** to the naive full-scan oracle — through the
+single-node :class:`TemporalIndex` and through a sharded
+:class:`TemporalCluster`.  Slice pruning, per-slice decay bounds, the
+early-stop rule and the shard router all sit on the hot path these
+comparisons pin down.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.partition import HashPartitioner, SpatialGridPartitioner
+from repro.datasets.generators import TEMPORAL_SCENARIOS
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import UNIT_SQUARE
+from repro.temporal import (
+    NaiveTemporalIndex,
+    RecencySpec,
+    TemporalCluster,
+    TemporalConfig,
+    TemporalIndex,
+    TemporalQuery,
+    TimeRange,
+)
+
+from tests.helpers import results_as_pairs
+
+HORIZON = 5000.0
+SLICE_WIDTH = 250.0
+N_QUERIES = 120
+
+
+def make_queries(rng, vocab):
+    """The 120-query mix: plain, range-only, recency-only, and both."""
+    queries = []
+    for i in range(N_QUERIES):
+        words = tuple(sorted(rng.sample(vocab, rng.randint(1, 3))))
+        base = TopKQuery(
+            round(rng.random(), 6),
+            round(rng.random(), 6),
+            words,
+            k=rng.choice([1, 5, 10, 25]),
+            semantics=Semantics.AND if rng.random() < 0.3 else Semantics.OR,
+        )
+        shape = i % 4
+        time_range = None
+        recency = None
+        if shape in (1, 3):
+            start = round(rng.uniform(-0.1, 0.9) * HORIZON, 3)
+            end = round(start + rng.uniform(0.05, 0.6) * HORIZON, 3)
+            time_range = TimeRange(start, end)
+        if shape in (2, 3):
+            recency = RecencySpec(
+                half_life=rng.choice([HORIZON / 50, HORIZON / 10, HORIZON]),
+                origin=round(rng.uniform(0.8, 1.1) * HORIZON, 3),
+            )
+        queries.append(TemporalQuery(base, time_range, recency))
+    return queries
+
+
+@pytest.fixture(scope="module", params=sorted(TEMPORAL_SCENARIOS))
+def scenario(request):
+    corpus = TEMPORAL_SCENARIOS[request.param](
+        num_documents=400, seed=7, horizon=HORIZON
+    )
+    tdocs = list(corpus.temporal_documents())
+    vocab = sorted({w for d in corpus.documents for w in d.terms})
+    oracle = NaiveTemporalIndex(UNIT_SQUARE, SLICE_WIDTH)
+    for tdoc in tdocs:
+        oracle.insert(tdoc)
+    rng = random.Random(("temporal-equivalence", request.param).__repr__())
+    return {
+        "name": request.param,
+        "tdocs": tdocs,
+        "oracle": oracle,
+        "queries": make_queries(rng, vocab),
+    }
+
+
+def assert_equivalent(name, answer_fn, oracle, queries, ranker):
+    mismatches = []
+    for i, tq in enumerate(queries):
+        got = results_as_pairs(answer_fn(tq))
+        expected = results_as_pairs(oracle.query(tq, ranker))
+        if got != expected:
+            mismatches.append((i, tq.words, got[:3], expected[:3]))
+    assert not mismatches, (
+        f"{name}: {len(mismatches)}/{len(queries)} queries diverge "
+        f"from the oracle; first: {mismatches[0]}"
+    )
+
+
+class TestSingleNode:
+    def test_matches_oracle(self, scenario):
+        index = TemporalIndex.build(
+            UNIT_SQUARE,
+            scenario["tdocs"],
+            TemporalConfig(slice_width=SLICE_WIDTH, page_size=512),
+        )
+        ranker = Ranker(UNIT_SQUARE)
+        index.advance(HORIZON)  # seal everything: the worst pruning case
+        assert_equivalent(
+            f"single[{scenario['name']}]",
+            lambda tq: index.query(tq, ranker),
+            scenario["oracle"],
+            scenario["queries"],
+            ranker,
+        )
+        # The suite must actually exercise pruning, not scan everything.
+        stats = index.slice_stats()
+        assert stats["queries"] == N_QUERIES
+        assert stats["skip_ratio"] > 0.0
+        index.check_invariants()
+
+    def test_matches_oracle_under_alternate_alpha(self, scenario):
+        index = TemporalIndex.build(
+            UNIT_SQUARE,
+            scenario["tdocs"],
+            TemporalConfig(slice_width=SLICE_WIDTH, page_size=512),
+        )
+        ranker = Ranker(UNIT_SQUARE, alpha=0.3)
+        oracle = scenario["oracle"]
+        for tq in scenario["queries"][::6]:
+            assert results_as_pairs(index.query(tq, ranker)) == results_as_pairs(
+                oracle.query(tq, ranker)
+            )
+
+
+def make_partitioner(kind, tdocs):
+    if kind == "hash":
+        return HashPartitioner(3, UNIT_SQUARE)
+    return SpatialGridPartitioner.from_documents(
+        4, UNIT_SQUARE, [t.doc for t in tdocs]
+    )
+
+
+class TestSharded:
+    @pytest.mark.parametrize("kind", ["hash", "grid"])
+    def test_matches_oracle(self, scenario, kind):
+        cluster = TemporalCluster.build(
+            UNIT_SQUARE,
+            scenario["tdocs"],
+            make_partitioner(kind, scenario["tdocs"]),
+            TemporalConfig(slice_width=SLICE_WIDTH, page_size=512),
+        )
+        cluster.advance(HORIZON)
+        assert_equivalent(
+            f"cluster[{scenario['name']}]",
+            cluster.query,
+            scenario["oracle"],
+            scenario["queries"],
+            cluster.ranker,
+        )
+        assert cluster.queries == N_QUERIES
+
+    def test_router_skips_shards_on_selective_queries(self, scenario):
+        cluster = TemporalCluster.build(
+            UNIT_SQUARE,
+            scenario["tdocs"],
+            make_partitioner("grid", scenario["tdocs"]),
+            TemporalConfig(slice_width=SLICE_WIDTH, page_size=512),
+        )
+        for tq in scenario["queries"]:
+            cluster.search(tq)
+        # Spatial partitioning makes distant shards' bounds fall below
+        # delta for selective queries; the router must use that.
+        assert cluster.shards_skipped > 0
+
+
+class TestMutationsPreserveEquivalence:
+    def test_interleaved_mutations(self, scenario):
+        """Insert/delete churn between queries: both sides stay equal."""
+        rng = random.Random(("temporal-churn", scenario["name"]).__repr__())
+        tdocs = scenario["tdocs"]
+        index = TemporalIndex.build(
+            UNIT_SQUARE,
+            tdocs[: len(tdocs) // 2],
+            TemporalConfig(slice_width=SLICE_WIDTH, page_size=512),
+        )
+        oracle = NaiveTemporalIndex(UNIT_SQUARE, SLICE_WIDTH)
+        for tdoc in sorted(
+            tdocs[: len(tdocs) // 2], key=lambda t: (t.timestamp, t.doc_id)
+        ):
+            oracle.insert(tdoc)
+        pending = sorted(
+            tdocs[len(tdocs) // 2:], key=lambda t: (t.timestamp, t.doc_id)
+        )
+        ranker = Ranker(UNIT_SQUARE)
+        for i, tq in enumerate(scenario["queries"][:40]):
+            if pending and rng.random() < 0.6:
+                tdoc = pending.pop(0)
+                index.insert(tdoc)
+                oracle.insert(tdoc)
+            elif rng.random() < 0.5 and index.num_documents:
+                victim = rng.choice(
+                    sorted(d for s in index._slices.values() for d in s.docs)
+                )
+                index.delete_document(victim)
+                oracle.delete(victim)
+            got = results_as_pairs(index.query(tq, ranker))
+            expected = results_as_pairs(oracle.query(tq, ranker))
+            assert got == expected, f"query {i} diverged after churn"

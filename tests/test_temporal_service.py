@@ -1,0 +1,278 @@
+"""Service-tier integration of the temporal index: QueryService
+composition, per-slice metrics (snapshot + Prometheus), standing
+queries aging out under retention, the wire protocol's temporal
+fields, and the CLI surfaces.
+"""
+
+import json
+
+import pytest
+
+from repro.core.index import I3Index
+from repro.cli import main
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.net.errors import ProtocolError
+from repro.net.protocol import query_from_args, query_to_args
+from repro.net.sim import SimNetServer, sim_client
+from repro.service.service import QueryService, ServiceConfig
+from repro.simtest.clock import SimClock
+from repro.spatial.geometry import UNIT_SQUARE
+from repro.storage.records import f32
+from repro.model.document import SpatialDocument
+from repro.streaming import StreamConfig
+from repro.temporal import (
+    RecencySpec,
+    TemporalConfig,
+    TemporalDocument,
+    TemporalIndex,
+    TemporalQuery,
+    TimeRange,
+)
+
+from tests.helpers import results_as_pairs
+
+
+def tdoc(doc_id, ts, words=("cafe",), x=0.5, y=0.5):
+    return TemporalDocument(
+        SpatialDocument(doc_id, x, y, {w: f32(0.5) for w in words}), ts
+    )
+
+
+def temporal_index(retention=None, n=12):
+    return TemporalIndex.build(
+        UNIT_SQUARE,
+        [tdoc(i, float(i * 5)) for i in range(n)],
+        TemporalConfig(slice_width=10.0, retention_age=retention, page_size=256),
+    )
+
+
+@pytest.fixture()
+def service():
+    with QueryService(
+        temporal_index(retention=30.0),
+        ServiceConfig(workers=1, metrics_seed=0),
+    ) as svc:
+        yield svc
+
+
+class TestQueryService:
+    def test_plain_search_over_temporal_target(self, service):
+        results = service.search(TopKQuery(0.5, 0.5, ("cafe",), k=5))
+        assert len(results) == 5
+
+    def test_temporal_search_through_the_service(self, service):
+        tq = TemporalQuery(
+            TopKQuery(0.5, 0.5, ("cafe",), k=5),
+            TimeRange(0.0, 20.0),
+            RecencySpec(10.0, 60.0),
+        )
+        got = results_as_pairs(service.search(tq))
+        direct = results_as_pairs(
+            service.temporal.query(tq, Ranker(UNIT_SQUARE, alpha=0.5))
+        )
+        assert got == direct
+        assert {p[0] for p in got} <= {0, 1, 2, 3}
+
+    def test_advance_and_expire_lifecycle(self, service):
+        assert service.temporal is not None
+        service.advance(100.0)
+        dropped = service.expire()
+        assert dropped  # slices ending <= 70 are gone
+        assert service.temporal.get(0) is None
+
+    def test_metrics_snapshot_carries_slice_stats(self, service):
+        snapshot = service.metrics_snapshot()
+        stats = snapshot["temporal"]
+        assert stats["slices"] == service.temporal.slice_stats()["slices"]
+        assert {"sealed_slices", "hot_docs", "sealed_bytes",
+                "retention_drops", "skip_ratio"} <= set(stats)
+
+    def test_prometheus_gauges(self, service):
+        service.advance(100.0)
+        service.expire()
+        text = service.metrics.render_prometheus()
+        assert "repro_temporal_slices" in text
+        assert "repro_temporal_retention_drops" in text
+        assert "repro_temporal_skip_ratio" in text
+
+    def test_checkpoint_persists_durable_temporal_target(self, tmp_path):
+        root = str(tmp_path / "troot")
+        index = TemporalIndex.build(
+            UNIT_SQUARE,
+            [tdoc(i, float(i * 5)) for i in range(8)],
+            TemporalConfig(slice_width=10.0, page_size=256),
+            durable_root=root,
+        )
+        with QueryService(
+            index, ServiceConfig(workers=1, metrics_seed=0)
+        ) as svc:
+            svc.checkpoint()
+        reopened = TemporalIndex.open(root)
+        assert reopened.num_documents == 8
+
+
+class TestStandingQueriesAgeOut:
+    def test_expire_removes_expired_docs_from_standing_topk(self):
+        with QueryService(
+            temporal_index(retention=30.0),
+            ServiceConfig(workers=1, metrics_seed=0),
+        ) as svc:
+            streams = svc.streams(StreamConfig())
+            sub = streams.subscribe("aging", capacity=64)
+            qid = streams.register(
+                sub, TopKQuery(0.5, 0.5, ("cafe",), k=4), alpha=0.5
+            )
+            before = {p[0] for p in results_as_pairs(streams.results(qid))}
+            assert 0 in before or len(before) == 4
+            svc.advance(100.0)  # horizon 70: slices [0,10)...[60,70) expire
+            svc.expire()
+            after = results_as_pairs(streams.results(qid))
+            live_ids = {p[0] for p in after}
+            # Docs 0..13 at ts 0..55 within dropped slices are gone from
+            # the maintained top-k without any per-doc delete call.
+            assert all(svc.temporal.get(i) is not None for i in live_ids)
+            expected = results_as_pairs(
+                svc.temporal.query(
+                    TopKQuery(0.5, 0.5, ("cafe",), k=4),
+                    Ranker(UNIT_SQUARE, alpha=0.5),
+                )
+            )
+            assert after == expected
+
+
+class TestWire:
+    def test_args_round_trip_plain(self):
+        base = TopKQuery(0.25, 0.75, ("cafe", "bar"), k=7, semantics=Semantics.AND)
+        args = query_to_args(base)
+        assert "time_range" not in args and "recency" not in args
+        assert query_from_args(args) == base
+
+    def test_args_round_trip_temporal(self):
+        tq = TemporalQuery(
+            TopKQuery(0.25, 0.75, ("cafe",), k=3),
+            TimeRange(1.5, 9.25),
+            RecencySpec(12.0, 100.0),
+        )
+        encoded = json.loads(json.dumps(query_to_args(tq)))
+        decoded = query_from_args(encoded)
+        assert decoded == tq  # byte-identical floats via shortest repr
+
+    def test_bad_temporal_args_are_protocol_errors(self):
+        good = query_to_args(TopKQuery(0.5, 0.5, ("cafe",), k=1))
+        for bad in (
+            {**good, "time_range": [3.0]},
+            {**good, "time_range": [3.0, 3.0]},
+            {**good, "time_range": ["a", "b"]},
+            {**good, "recency": {"half_life": -1.0, "origin": 0.0}},
+            {**good, "recency": {"origin": 0.0}},
+        ):
+            with pytest.raises(ProtocolError):
+                query_from_args(bad)
+
+    def test_temporal_query_over_the_sim_wire(self):
+        clock = SimClock()
+        with QueryService(
+            temporal_index(), ServiceConfig(workers=1, metrics_seed=0)
+        ) as svc:
+            server = SimNetServer(svc, clock=clock)
+            tq = TemporalQuery(
+                TopKQuery(0.5, 0.5, ("cafe",), k=5),
+                TimeRange(0.0, 30.0),
+                RecencySpec(20.0, 60.0),
+            )
+            client = sim_client(server)
+            try:
+                got = results_as_pairs(client.search(tq))
+            finally:
+                client.close()
+            direct = results_as_pairs(
+                svc.temporal.query(tq, Ranker(UNIT_SQUARE, alpha=0.5))
+            )
+            assert got == direct
+
+    def test_non_temporal_backend_refuses_temporal_queries(self):
+        """Silently ignoring the temporal axis would serve wrong
+        answers, so a plain-index backend must refuse outright."""
+        clock = SimClock()
+        index = I3Index(UNIT_SQUARE, page_size=256)
+        index.insert_document(SpatialDocument(1, 0.5, 0.5, {"cafe": f32(0.5)}))
+        with QueryService(
+            index, ServiceConfig(workers=1, metrics_seed=0)
+        ) as svc:
+            server = SimNetServer(svc, clock=clock)
+            tq = TemporalQuery(
+                TopKQuery(0.5, 0.5, ("cafe",), k=1), TimeRange(0.0, 1.0)
+            )
+            client = sim_client(server, retries=0)
+            try:
+                with pytest.raises(ProtocolError, match="temporal"):
+                    client.search(tq)
+            finally:
+                client.close()
+
+    def test_standing_registration_refuses_temporal_queries(self):
+        clock = SimClock()
+        with QueryService(
+            temporal_index(), ServiceConfig(workers=1, metrics_seed=0)
+        ) as svc:
+            svc.streams(StreamConfig())
+            server = SimNetServer(svc, clock=clock)
+            tq = TemporalQuery(
+                TopKQuery(0.5, 0.5, ("cafe",), k=1), TimeRange(0.0, 1.0)
+            )
+            client = sim_client(server, retries=0)
+            try:
+                with pytest.raises(ProtocolError, match="standing"):
+                    client.register(tq)
+            finally:
+                client.close()
+
+
+class TestCLI:
+    @pytest.fixture
+    def temporal_corpus(self, tmp_path):
+        path = tmp_path / "temporal.jsonl"
+        assert main([
+            "generate", "--scenario", "time-skewed", "--docs", "80",
+            "--seed", "3", "--horizon", "5000", "--out", str(path),
+        ]) == 0
+        return path
+
+    def test_generate_scenario_stamps_timestamps(self, temporal_corpus):
+        records = [
+            json.loads(line)
+            for line in temporal_corpus.read_text().strip().splitlines()
+        ]
+        assert len(records) == 80
+        assert all("ts" in r for r in records)
+        assert all(0.0 <= r["ts"] <= 5000.0 for r in records)
+
+    def test_build_temporal_dir_and_reopen(self, tmp_path, temporal_corpus):
+        root = tmp_path / "tix"
+        assert main([
+            "build", "--corpus", str(temporal_corpus),
+            "--temporal-dir", str(root), "--slice-width", "500",
+        ]) == 0
+        index = TemporalIndex.open(str(root))
+        assert index.num_documents == 80
+        index.check_invariants()
+
+    def test_build_temporal_dir_requires_timestamps(self, tmp_path):
+        plain = tmp_path / "plain.jsonl"
+        assert main(["generate", "--docs", "10", "--out", str(plain)]) == 0
+        with pytest.raises(SystemExit):
+            main(["build", "--corpus", str(plain),
+                  "--temporal-dir", str(tmp_path / "x")])
+
+    def test_temporal_bench_smoke(self, capsys):
+        assert main([
+            "temporal-bench", "--scenario", "burst", "--docs", "300",
+            "--seed", "1", "--horizon", "5000", "--slice-width", "250",
+            "--queries", "30", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scenario"] == "burst"
+        assert report["queries"] == 30
+        assert 0.0 <= report["sealed_skip_ratio"] <= 1.0
+        assert report["retention"]["slices_dropped"] > 0
