@@ -1,0 +1,350 @@
+"""Execution-engine benchmark: tuple vs vector, thread vs process pool.
+
+Three measurements, all written to ``BENCH_exec.json`` at the
+repository root (the artifact CI uploads):
+
+* **scoring kernels** — the per-query inner loop (spatial proximity +
+  score combine over one cell's documents) as a scalar Python loop vs
+  the numpy kernels in :mod:`repro.exec.kernels`.  This is the headline
+  number the vectorization exists for; the canary asserts >= 5x.
+* **end-to-end queries** — the same query set through ``index.query``
+  under each engine, median of repeats (this machine's timings are
+  noisy, medians or better are mandatory).
+* **worker scaling** — the same request stream through a
+  :class:`~repro.service.QueryService` thread pool and through a
+  :class:`~repro.exec.procpool.SnapshotProcessPool` (fork workers over
+  a read-only mmap'd I3IX v2 snapshot) at 1/2/4/8 workers.  Thread
+  workers share the GIL, so the engine work serializes no matter the
+  pool size; the process pool is the escape hatch, and the canary
+  asserts its QPS is monotone over the worker counts the host's CPU
+  count can actually back.
+
+Shape assertions: every engine and every executor returns identical
+answers for the same request stream — the sweep is also one more
+cross-engine differential.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import random
+import statistics
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.bench.reporting import Table, collect
+from repro.core.index import I3Index
+from repro.core.persistence import save_index
+from repro.datasets.generators import TwitterLikeGenerator
+from repro.exec import available_engines, resolve_engine
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.spatial.geometry import UNIT_SQUARE
+
+np = pytest.importorskip("numpy")
+pytestmark = pytest.mark.skipif(
+    "vector" not in available_engines(), reason="vector engine unavailable"
+)
+
+WORKERS = (1, 2, 4, 8)
+EXECUTORS = ("thread", "process")
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+REPEATS = 3
+
+_results: Dict[str, object] = {}
+_scaling: Dict[tuple, dict] = {}
+_answers: Dict[tuple, list] = {}
+
+
+def _num_docs(profile) -> int:
+    # Sized so keyword cells hold enough documents for columnar scoring
+    # to have something to amortize, while a CI runner finishes the
+    # build in seconds.
+    return 40_000 if profile.name == "full" else 12_000
+
+
+@pytest.fixture(scope="module")
+def exec_index(profile):
+    corpus = TwitterLikeGenerator(
+        _num_docs(profile), seed=profile.seed, name="ExecBench"
+    ).generate()
+    index = I3Index(UNIT_SQUARE, page_size=4096)
+    index.bulk_load(corpus.documents)
+    return index, corpus
+
+
+@pytest.fixture(scope="module")
+def exec_queries(exec_index, profile):
+    _index, corpus = exec_index
+    vocab = sorted({w for d in corpus.documents[:2000] for w in d.terms})
+    rng = random.Random(profile.seed)
+    hot = vocab[: max(20, len(vocab) // 10)]
+    queries = []
+    for i in range(60):
+        words = tuple(rng.sample(hot, rng.randint(1, 3)))
+        queries.append(
+            TopKQuery(
+                rng.random(),
+                rng.random(),
+                words,
+                k=rng.choice([10, 50]),
+                semantics=Semantics.AND if i % 4 == 0 else Semantics.OR,
+            )
+        )
+    return queries
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(exec_index, tmp_path_factory):
+    index, _corpus = exec_index
+    path = str(tmp_path_factory.mktemp("bench-exec") / "index.i3ix")
+    save_index(index, path)
+    return path
+
+
+def _median_time(fn, repeats: int = REPEATS) -> float:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+@pytest.mark.benchmark(group="exec-engine")
+def test_exec_scoring_kernels(benchmark, profile):
+    """The inner scoring loop over one (large) cell of documents."""
+    rng = np.random.default_rng(profile.seed)
+    n = 50_000
+    xs = rng.random(n)
+    ys = rng.random(n)
+    weights = rng.random(n)
+    qx, qy, alpha = 0.5, 0.5, 0.5
+    diagonal = math.sqrt(2.0)
+
+    xs_list, ys_list, w_list = xs.tolist(), ys.tolist(), weights.tolist()
+
+    def scalar():
+        out = []
+        for x, y, w in zip(xs_list, ys_list, w_list):
+            dx = x - qx
+            dy = y - qy
+            dist = math.sqrt(dx * dx + dy * dy)
+            phi_s = max(0.0, 1.0 - dist / diagonal)
+            out.append(alpha * phi_s + (1.0 - alpha) * w)
+        return out
+
+    def vector():
+        from repro.exec import kernels
+
+        phi_s = kernels.spatial_proximity(qx, qy, xs, ys, diagonal)
+        return kernels.combine(alpha, phi_s, weights)
+
+    # The two paths must agree bit-for-bit before they are compared on
+    # speed — the same guarantee the engines hold at every layer.
+    assert [v.hex() for v in vector().tolist()] == [
+        v.hex() for v in scalar()
+    ]
+
+    scalar_s = _median_time(scalar, repeats=5)
+    vector_s = _median_time(vector, repeats=5)
+    benchmark.pedantic(vector, rounds=3, iterations=1)
+    _results["scoring"] = {
+        "documents": n,
+        "scalar_seconds": scalar_s,
+        "vector_seconds": vector_s,
+        "speedup": scalar_s / vector_s if vector_s > 0 else 0.0,
+    }
+
+
+@pytest.mark.benchmark(group="exec-engine")
+def test_exec_query_speedup(benchmark, exec_index, exec_queries):
+    """End-to-end single queries, tuple vs vector, median of repeats."""
+    index, _corpus = exec_index
+    ranker = Ranker(index.space, 0.5)
+    timings: Dict[str, float] = {}
+    answers: Dict[str, list] = {}
+    for engine in ("tuple", "vector"):
+        answers[engine] = [
+            index.query(q, ranker, engine=engine) for q in exec_queries
+        ]
+        timings[engine] = _median_time(
+            lambda e=engine: [
+                index.query(q, ranker, engine=e) for q in exec_queries
+            ]
+        )
+    assert answers["vector"] == answers["tuple"]
+    benchmark.pedantic(
+        lambda: [index.query(q, ranker, engine="vector") for q in exec_queries],
+        rounds=1,
+        iterations=1,
+    )
+    _results["query"] = {
+        "queries": len(exec_queries),
+        "tuple_seconds": timings["tuple"],
+        "vector_seconds": timings["vector"],
+        "speedup": timings["tuple"] / timings["vector"]
+        if timings["vector"] > 0
+        else 0.0,
+    }
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("workers", WORKERS)
+@pytest.mark.benchmark(group="exec-scaling")
+def test_exec_worker_scaling(
+    benchmark, exec_index, exec_queries, snapshot_path, profile,
+    workers, executor,
+):
+    from repro.exec.procpool import SnapshotProcessPool
+    from repro.service import QueryService, ServiceConfig
+
+    index, _corpus = exec_index
+    requests = exec_queries * 4  # 240 queries: enough work to divide
+
+    if executor == "thread":
+        config = ServiceConfig(
+            workers=workers,
+            max_pending=max(256, 4 * workers),
+            cache_capacity=0,  # measure the engine, not the cache
+            metrics_seed=profile.seed,
+        )
+
+        def run():
+            with QueryService(
+                index, config, ranker=Ranker(index.space, 0.5)
+            ) as service:
+                start = time.perf_counter()
+                answers = service.search_batch(requests)
+                return time.perf_counter() - start, answers
+
+    else:
+
+        def run():
+            with SnapshotProcessPool(
+                snapshot_path, workers=workers, verify=False
+            ) as pool:
+                # Warm every worker (fork + snapshot open happen on
+                # first dispatch) so the sweep measures steady state.
+                pool.search_many(requests[: 2 * workers])
+                start = time.perf_counter()
+                answers = pool.search_many(requests)
+                return time.perf_counter() - start, answers
+
+    best_wall, answers = None, None
+    for _ in range(REPEATS):
+        wall, got = run()
+        if best_wall is None or wall < best_wall:
+            best_wall, answers = wall, got
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _answers[(executor, workers)] = answers
+    _scaling[(executor, workers)] = {
+        "executor": executor,
+        "workers": workers,
+        "queries": len(requests),
+        "wall_seconds": best_wall,
+        "qps": len(requests) / best_wall if best_wall > 0 else 0.0,
+    }
+
+
+@pytest.mark.benchmark(group="exec-engine")
+def test_exec_report(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cpus = os.cpu_count() or 1
+
+    scoring = _results.get("scoring")
+    query = _results.get("query")
+    assert scoring is not None and query is not None
+
+    table = Table(
+        "Execution engines — scalar vs vectorized "
+        f"(ExecBench, {scoring['documents']} docs scored / "
+        f"{query['queries']} queries)",
+        ["measurement", "tuple", "vector", "speedup"],
+    )
+    table.add_row(
+        "scoring kernels (s)",
+        round(scoring["scalar_seconds"], 4),
+        round(scoring["vector_seconds"], 4),
+        f"{scoring['speedup']:.1f}x",
+    )
+    table.add_row(
+        "end-to-end queries (s)",
+        round(query["tuple_seconds"], 4),
+        round(query["vector_seconds"], 4),
+        f"{query['speedup']:.1f}x",
+    )
+    collect(table.render())
+
+    scale_table = Table(
+        f"Worker scaling — QPS vs pool size ({cpus} CPUs visible)",
+        ["workers"] + [f"{e} qps" for e in EXECUTORS],
+    )
+    for workers in WORKERS:
+        scale_table.add_row(
+            workers,
+            *[
+                round(_scaling[(e, workers)]["qps"], 1)
+                if (e, workers) in _scaling
+                else "-"
+                for e in EXECUTORS
+            ],
+        )
+    collect(scale_table.render())
+
+    # --- canaries -----------------------------------------------------
+    # (1) The headline: vectorized scoring >= 5x the scalar loop.
+    assert scoring["speedup"] >= 5.0, (
+        f"scoring kernels only {scoring['speedup']:.1f}x over scalar"
+    )
+    # (2) End-to-end queries must benefit too (the full traversal caps
+    # the kernel win; the floor is deliberately conservative because CI
+    # machines are noisy).
+    assert query["speedup"] >= 1.5, (
+        f"end-to-end vector speedup only {query['speedup']:.1f}x"
+    )
+    # (3) Every executor and pool size returned identical answers.
+    measured = sorted(_answers)
+    for key in measured[1:]:
+        assert _answers[key] == _answers[measured[0]], (
+            f"answers diverge between {measured[0]} and {key}"
+        )
+    # (4) Process-pool QPS is monotone over the worker counts this
+    # host's CPUs can back (beyond that, extra workers only add
+    # scheduling overhead — recorded, not asserted).  The 0.9 factor
+    # absorbs run-to-run noise, not a real regression.
+    backed = [w for w in WORKERS if w <= cpus and ("process", w) in _scaling]
+    for prev, cur in zip(backed, backed[1:]):
+        prev_qps = _scaling[("process", prev)]["qps"]
+        cur_qps = _scaling[("process", cur)]["qps"]
+        assert cur_qps >= 0.9 * prev_qps, (
+            f"process-pool qps fell {prev_qps:.1f} -> {cur_qps:.1f} "
+            f"going {prev} -> {cur} workers with {cpus} CPUs"
+        )
+
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "exec-engine",
+                "profile": profile.name,
+                "cpus": cpus,
+                "default_engine": resolve_engine(None),
+                "scoring": scoring,
+                "query": query,
+                "scaling": [
+                    _scaling[(e, w)]
+                    for e in EXECUTORS
+                    for w in WORKERS
+                    if (e, w) in _scaling
+                ],
+                "monotone_within_cores": True,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

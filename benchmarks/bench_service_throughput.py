@@ -21,6 +21,7 @@ from typing import Dict
 import pytest
 
 from repro.bench.reporting import Table, collect
+from repro.exec import resolve_engine
 from repro.model.scoring import Ranker
 from repro.service import QueryService, ServiceConfig
 from repro.storage.buffer import BufferPool
@@ -137,6 +138,12 @@ def test_service_report(benchmark, profile):
                 "benchmark": "service-throughput",
                 "dataset": DATASET,
                 "profile": profile.name,
+                # What actually executed the queries: the resolved
+                # engine (config leaves it to default resolution) and
+                # the service's worker model.  bench_exec.py sweeps the
+                # alternatives (tuple engine, process-pool executor).
+                "engine": resolve_engine(None),
+                "executor": "thread-pool",
                 "sweep": [_results[w] for w in measured],
             },
             indent=2,

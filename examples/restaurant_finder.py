@@ -90,7 +90,9 @@ def main() -> None:
     show("AND again after #42 became a spicy chinese place",
          index.query(strict, ranker), pois)
 
-    trace = index._processor.last_trace
+    # engine_processor() resolves to whichever engine served the
+    # queries above (vector when numpy is present, tuple otherwise).
+    trace = index.engine_processor().last_trace
     print(f"\nlast query examined {trace.candidates_popped} cells, "
           f"pruned {trace.cells_pruned}, scored {trace.docs_scored} documents")
 

@@ -233,7 +233,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     semantics = Semantics.AND if args.semantics == "and" else Semantics.OR
     query = TopKQuery(x, y, words, k=args.k, semantics=semantics)
     ranker = Ranker(index.space, alpha=args.alpha)
-    results = index.query(query, ranker)
+    results = index.query(query, ranker, engine=args.engine)
     if args.json:
         json.dump(
             [{"doc_id": r.doc_id, "score": r.score} for r in results],
@@ -324,6 +324,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         cache_capacity=args.cache,
         metrics_seed=args.seed,
+        engine=args.engine,
     )
     stop = threading.Event()
 
@@ -414,6 +415,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         cache_capacity=args.cache,
         metrics_seed=args.seed,
+        engine=args.engine,
     )
     ranker = Ranker(index.space, alpha=args.alpha)
     start = time.perf_counter()
@@ -1018,6 +1020,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--k", type=int, default=10)
     query.add_argument("--semantics", choices=["and", "or"], default="or")
     query.add_argument("--alpha", type=float, default=0.5)
+    query.add_argument(
+        "--engine",
+        choices=["tuple", "vector"],
+        default=None,
+        help="execution engine (default: vector when numpy is "
+        "available, else tuple; REPRO_ENGINE overrides)",
+    )
     query.add_argument("--json", action="store_true", help="JSON output")
     query.set_defaults(func=_cmd_query)
 
@@ -1055,6 +1064,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared buffer-pool pages (0 = unbuffered)")
     serve.add_argument("--page-size", type=int, default=4096)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--engine",
+        choices=["tuple", "vector"],
+        default=None,
+        help="execution engine for every worker (default: vector when "
+        "numpy is available, else tuple; REPRO_ENGINE overrides)",
+    )
     serve.add_argument("--json", action="store_true", help="JSON metrics output")
     serve.add_argument(
         "--metrics-out",
@@ -1126,6 +1142,13 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument("--alpha", type=float, default=0.5)
     server.add_argument("--page-size", type=int, default=4096)
     server.add_argument("--seed", type=int, default=0)
+    server.add_argument(
+        "--engine",
+        choices=["tuple", "vector"],
+        default=None,
+        help="execution engine for every worker (default: vector when "
+        "numpy is available, else tuple; REPRO_ENGINE overrides)",
+    )
     server.add_argument(
         "--metrics-port", type=int, default=None,
         help="also serve /metrics and /healthz over HTTP on this port "
@@ -1279,7 +1302,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simtest.add_argument(
         "--inject-bug",
-        choices=["lost-wal-record", "stale-cache", "dropped-push", "stale-slice"],
+        choices=["lost-wal-record", "stale-cache", "dropped-push",
+                 "stale-slice", "vector-skew"],
         help="canary mode: flip a known-bad code path and assert the "
         "harness catches it (and that the shrunk trace still fails)",
     )

@@ -35,7 +35,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.manifest import ShardManifest
 from repro.cluster.partition import build_manifest
@@ -395,6 +395,31 @@ class ClusterService:
             # reach a recovered replica and must not be short-circuited.
             self.cache.put(key, epoch, answer)
         return answer
+
+    def query_many(self, queries: Sequence[TopKQuery]) -> List[ClusterAnswer]:
+        """Answer a batch of queries; answers in input order.
+
+        Each query is answered exactly as :meth:`search` would answer it
+        alone (scatter-gather, cache, degraded accounting); duplicates
+        within the batch are scattered once and share the (immutable)
+        :class:`ClusterAnswer`.  Per-shard batch amortization happens one
+        level down: shard services run their local work through the
+        engine seam, so the cluster tier stays a pure router.
+        """
+        if self._closed:
+            raise ServiceClosed("cluster service is closed")
+        memo: Dict[TopKQuery, ClusterAnswer] = {}
+        out: List[ClusterAnswer] = []
+        for query in queries:
+            answer = memo.get(query)
+            if answer is None:
+                answer = self.search(query)
+                if not answer.degraded:
+                    # A degraded answer is retried for later duplicates —
+                    # same contract as the cluster cache.
+                    memo[query] = answer
+            out.append(answer)
+        return out
 
     def _scatter_gather(self, query: TopKQuery) -> ClusterAnswer:
         ranked, absent, dead_upfront = self._route(query)

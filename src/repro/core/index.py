@@ -83,6 +83,10 @@ class I3Index:
             bulk load.  External result caches (see
             :mod:`repro.service.cache`) stamp entries with it, which
             makes cached results self-invalidating.
+        engine: Per-index engine override (``"tuple"``/``"vector"``) or
+            ``None`` to resolve per query call from the ``REPRO_ENGINE``
+            environment variable and the numpy-dependent default.  Both
+            engines answer byte-identically; see :mod:`repro.exec`.
     """
 
     def __init__(
@@ -95,6 +99,7 @@ class I3Index:
         head_component: str = "i3.head",
         data_component: str = "i3.data",
         buffer_pages: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if eta <= 0:
             raise ValueError(f"eta must be positive, got {eta}")
@@ -121,7 +126,9 @@ class I3Index:
         # Per-keyword max_s upper bounds advertised to the cluster layer
         # (see keyword_bound); missing entries are computed on demand.
         self._word_bound: Dict[str, float] = {}
+        self.engine = engine
         self._processor = I3QueryProcessor(self)
+        self._vector_processor = None
         # Mutation listeners (the streaming subsystem's hook).  Events
         # are emitted synchronously after each mutation applies; with no
         # listeners registered the write path pays one truthiness check.
@@ -444,12 +451,33 @@ class I3Index:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def engine_processor(self, engine: Optional[str] = None):
+        """The query processor serving ``engine`` (resolved if ``None``).
+
+        ``"tuple"`` returns the scalar reference processor; ``"vector"``
+        lazily constructs the numpy batch processor
+        (:class:`~repro.exec.vector.VectorQueryProcessor`).  Resolution
+        happens per call (argument > index override > environment >
+        default) so one index can serve both engines concurrently.
+        """
+        from repro.exec import resolve_engine
+
+        resolved = resolve_engine(engine if engine is not None else self.engine)
+        if resolved != "vector":
+            return self._processor
+        if self._vector_processor is None:
+            from repro.exec.vector import VectorQueryProcessor
+
+            self._vector_processor = VectorQueryProcessor(self)
+        return self._vector_processor
+
     def query(
         self,
         query: TopKQuery,
         ranker: Optional[Ranker] = None,
         cache=None,
         io_sink: Optional[IOStats] = None,
+        engine: Optional[str] = None,
     ) -> List[ScoredDoc]:
         """Answer a top-k spatial keyword query (Algorithm 4).
 
@@ -457,25 +485,56 @@ class I3Index:
         object with ``get_or_compute(key, epoch, compute)``, e.g.
         :class:`~repro.service.cache.QueryResultCache`): results are
         keyed by ``(query, alpha)`` and stamped with the current
-        :attr:`epoch`, so a hit after any mutation recomputes.
+        :attr:`epoch`, so a hit after any mutation recomputes.  Both
+        engines produce byte-identical results, so cache entries are
+        engine-agnostic.
 
         ``io_sink`` is an optional external :class:`IOStats` receiving a
         private copy of this call's I/O (this thread's only), letting
         concurrent callers attribute I/O per query.  A cache hit
         records no I/O.
+
+        ``engine`` overrides the execution engine for this call (see
+        :meth:`engine_processor`).
         """
         if ranker is None:
             ranker = Ranker(self.space)
+        processor = self.engine_processor(engine)
 
         def run() -> List[ScoredDoc]:
             if io_sink is None:
-                return self._processor.search(query, ranker)
+                return processor.search(query, ranker)
             with self.stats.tee(io_sink):
-                return self._processor.search(query, ranker)
+                return processor.search(query, ranker)
 
         if cache is None:
             return run()
         return cache.get_or_compute((query, ranker.alpha), self.epoch, run)
+
+    def query_many(
+        self,
+        queries,
+        ranker: Optional[Ranker] = None,
+        cache=None,
+        io_sink: Optional[IOStats] = None,
+        engine: Optional[str] = None,
+    ) -> List[List[ScoredDoc]]:
+        """Answer a batch of queries; results in input order.
+
+        Each answer is exactly what :meth:`query` would return for that
+        query alone; the batch amortizes work across its members —
+        identical queries execute once, and under the vector engine all
+        queries share one columnar cell cache so a keyword cell's pages
+        are read at most once per batch (:mod:`repro.exec.batch`).
+
+        The caller is responsible for mutual exclusion with writers for
+        the duration of the call (the service layer holds its read lock
+        across the whole batch), which is what makes the shared cell
+        cache sound.
+        """
+        from repro.exec.batch import run_batch
+
+        return run_batch(self, queries, ranker, cache, io_sink, engine)
 
     def iter_query(self, query: TopKQuery, ranker: Optional[Ranker] = None):
         """Stream matching documents best-first, without a k bound.

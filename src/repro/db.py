@@ -163,6 +163,7 @@ class SpatialKeywordDatabase:
         semantics: Semantics = Semantics.OR,
         alpha: Optional[float] = None,
         cache=None,
+        engine: Optional[str] = None,
     ) -> List[SearchHit]:
         """Top-k documents for a location plus keywords.
 
@@ -173,6 +174,9 @@ class SpatialKeywordDatabase:
         (see :meth:`repro.core.index.I3Index.query`); the finished
         :class:`SearchHit` lists are cached, stamped with the index
         epoch so inserts/deletes invalidate them.
+
+        ``engine`` selects the execution engine for the underlying
+        index query (both engines return byte-identical results).
         """
         if isinstance(keywords, str):
             words: Sequence[str] = self.tokenizer.keywords(keywords)
@@ -184,7 +188,10 @@ class SpatialKeywordDatabase:
         ranker = Ranker(self.space, self.alpha if alpha is None else alpha)
 
         def run() -> List[SearchHit]:
-            return [self._hit(r) for r in self.index.query(query, ranker)]
+            return [
+                self._hit(r)
+                for r in self.index.query(query, ranker, engine=engine)
+            ]
 
         if cache is None:
             return run()

@@ -1,0 +1,106 @@
+"""``query_many``: amortized execution of a query batch.
+
+Motivation (WISK, arXiv:2302.14287): concurrent queries over the same
+hot regions touch the same keyword cells; loading each cell once per
+*batch* instead of once per *query* removes the redundant page reads
+and (for the vector engine) the redundant columnar decodes.
+
+The batch runs sequentially inside one snapshot of the index — callers
+holding a read lock around the call (``QueryService.search_many``) get
+one consistent epoch for every answer.  Amortization comes from two
+layers:
+
+* identical ``(query, alpha)`` pairs are executed once and the result
+  list is copied per occurrence;
+* under the vector engine all queries share one
+  :class:`~repro.exec.columns.BatchContext`, so a keyword cell's pages
+  are read and decoded at most once per batch no matter how many
+  queries traverse it.
+
+Results are returned in input order, and each is exactly what
+``index.query`` would have produced for that query alone — the batch is
+a pure amortization, never an approximation (asserted by
+``tests/test_query_many.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec import resolve_engine
+from repro.model.query import TopKQuery
+from repro.model.results import ScoredDoc
+from repro.model.scoring import Ranker
+
+__all__ = ["run_batch"]
+
+
+def run_batch(
+    index,
+    queries: Sequence[TopKQuery],
+    ranker: Optional[Ranker],
+    cache,
+    io_sink,
+    engine: Optional[str],
+    guard: Optional[Callable[[TopKQuery], None]] = None,
+    capture_errors: bool = False,
+) -> List:
+    """Execute ``queries`` against ``index``; results in input order.
+
+    ``guard`` (if given) runs before each query's execution and may
+    raise to abort that query — the service layer uses it to enforce
+    per-query deadlines inside a batch.  With ``capture_errors`` a
+    query's exception becomes its entry in the returned list instead of
+    aborting the batch (failures are never cached or deduplicated — a
+    later duplicate of a failed query is attempted again).
+    """
+    if ranker is None:
+        ranker = Ranker(index.space)
+    queries = list(queries)
+    if not queries:
+        return []
+    engine_name = resolve_engine(
+        engine if engine is not None else getattr(index, "engine", None)
+    )
+    processor = index.engine_processor(engine_name)
+    context = None
+    if engine_name == "vector":
+        from repro.exec.columns import BatchContext
+
+        context = BatchContext()
+
+    def execute(query: TopKQuery) -> List[ScoredDoc]:
+        if guard is not None:
+            guard(query)
+        if context is not None:
+            return processor.search(query, ranker, context=context)
+        return processor.search(query, ranker)
+
+    def run_all() -> List:
+        unique: Dict[Tuple[TopKQuery, float], List[ScoredDoc]] = {}
+        out: List = []
+        for query in queries:
+            key = (query, ranker.alpha)
+            hit = unique.get(key)
+            if hit is None:
+                try:
+                    if cache is not None:
+                        hit = cache.get_or_compute(
+                            key, index.epoch, lambda q=query: execute(q)
+                        )
+                    else:
+                        hit = execute(query)
+                except Exception as exc:
+                    if not capture_errors:
+                        raise
+                    out.append(exc)
+                    continue
+                unique[key] = hit
+            # Independent copies: callers may mutate their result list.
+            out.append(list(hit))
+        return out
+
+    if io_sink is None:
+        return run_all()
+    with index.stats.tee(io_sink):
+        return run_all()

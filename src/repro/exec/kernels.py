@@ -1,0 +1,88 @@
+"""Batch scoring kernels, bit-identical to the scalar ranking path.
+
+Every kernel reproduces the scalar code's IEEE-754 operation sequence
+element-wise, which is what makes the vector engine's final scores
+byte-identical to the tuple engine's (``docs/exec.md`` states the full
+argument):
+
+* distance is ``sqrt(dx*dx + dy*dy)`` in both paths — each step is a
+  correctly-rounded double operation, so scalar and vector agree to the
+  last bit (``math.hypot`` would not: it rounds once at the end);
+* the proximity/combine arithmetic uses the same literal expression
+  shapes as :class:`repro.model.scoring.Ranker`;
+* per-document textual sums are accumulated column by column in the
+  engine's keyword *fetch order* — the same left-to-right addition
+  chain ``sum(weights.values())`` performs over a ``DocAccumulator``'s
+  insertion-ordered dict.
+
+Recency decay is the exception: ``2.0 ** x`` and ``np.exp2`` round
+differently on some inputs, so decay *weights* are computed per
+document by the scalar :func:`repro.temporal.model.recency_weight` and
+only the multiply is vectorized (:func:`apply_decay`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "accumulate_weights",
+    "apply_decay",
+    "combine",
+    "positions",
+    "spatial_proximity",
+]
+
+
+def spatial_proximity(
+    qx: float, qy: float, xs: np.ndarray, ys: np.ndarray, diagonal: float
+) -> np.ndarray:
+    """``max(0, 1 - dist/diagonal)`` per point, bit-equal to
+    :meth:`repro.model.scoring.Ranker.spatial_proximity`."""
+    dx = xs - qx
+    dy = ys - qy
+    dist = np.sqrt(dx * dx + dy * dy)
+    return np.maximum(0.0, 1.0 - dist / diagonal)
+
+
+def combine(alpha: float, phi_s: np.ndarray, phi_t: np.ndarray) -> np.ndarray:
+    """``alpha*phi_s + (1-alpha)*phi_t``, bit-equal to
+    :meth:`repro.model.scoring.Ranker.combine`."""
+    return alpha * phi_s + (1.0 - alpha) * phi_t
+
+
+def positions(all_ids: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Indices of ``ids`` inside ``all_ids`` (both sorted unique;
+    ``ids`` must be a subset)."""
+    return np.searchsorted(all_ids, ids)
+
+
+def accumulate_weights(
+    all_ids: np.ndarray,
+    id_arrays: Sequence[np.ndarray],
+    weight_arrays: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Per-document matched-weight sums over keyword columns.
+
+    Columns must be passed in the traversal's keyword fetch order: the
+    running sum then adds each document's weights left to right exactly
+    as the scalar ``sum(acc.weights.values())`` does, starting from 0.0
+    (``0.0 + w`` is exact), so the result is bit-identical.
+    """
+    acc = np.zeros(all_ids.size, dtype=np.float64)
+    for ids, ws in zip(id_arrays, weight_arrays):
+        if ids.size:
+            acc[np.searchsorted(all_ids, ids)] += ws.astype(np.float64)
+    return acc
+
+
+def apply_decay(scores: np.ndarray, decay: List[float]) -> np.ndarray:
+    """Multiply base scores by per-document decay weights.
+
+    The weights come from the scalar ``recency_weight`` (see the module
+    docstring); one float multiply per element is the same operation the
+    scalar path performs, so bit-identity is preserved.
+    """
+    return scores * np.asarray(decay, dtype=np.float64)

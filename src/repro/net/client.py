@@ -39,6 +39,8 @@ from repro.net.errors import (
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
     encode_frame,
+    outcomes_from_wire,
+    queries_to_args,
     query_to_args,
     read_frame,
     results_from_wire,
@@ -287,6 +289,43 @@ class Client:
             "query", query_to_args(query), deadline_ms=deadline_ms
         )
         return results_from_wire(wire)
+
+    def search_many(
+        self,
+        queries: Iterable[TopKQuery],
+        deadline_ms: Optional[float] = None,
+        return_exceptions: bool = False,
+    ) -> List[Any]:
+        """Answer a query batch in one round trip; results in input order.
+
+        The server executes the batch as one admitted unit, so per-query
+        work (page reads, columnar decodes under the vector engine) is
+        amortized across the batch.  Per-query failures are isolated:
+        with ``return_exceptions`` they come back as
+        :class:`~repro.net.errors.NetError` entries in their slots;
+        otherwise the first failed slot is raised — after the whole
+        batch has executed, so retrying only the failed queries is
+        possible either way.
+        """
+        batch = list(queries)
+        if not batch:
+            return []
+        wire = self.call(
+            "query_many", queries_to_args(batch), deadline_ms=deadline_ms
+        )
+        if not isinstance(wire, dict) or "outcomes" not in wire:
+            raise ProtocolError(f"malformed query_many response: {wire!r}")
+        outcomes = outcomes_from_wire(wire["outcomes"])
+        if len(outcomes) != len(batch):
+            raise ProtocolError(
+                f"server answered {len(outcomes)} outcomes "
+                f"for {len(batch)} queries"
+            )
+        if not return_exceptions:
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+        return outcomes
 
     def insert(
         self,

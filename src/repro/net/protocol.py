@@ -40,12 +40,17 @@ from repro.temporal.model import RecencySpec, TemporalQuery, TimeRange
 
 __all__ = [
     "FrameAssembler",
+    "MAX_BATCH_QUERIES",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "encode_frame",
     "decode_payload",
     "error_response",
     "ok_response",
+    "outcomes_from_wire",
+    "outcomes_to_wire",
+    "queries_from_args",
+    "queries_to_args",
     "query_from_args",
     "query_to_args",
     "read_frame",
@@ -60,6 +65,11 @@ PROTOCOL_VERSION = 1
 # response (a 400-result state probe is ~12 KB) while bounding what one
 # connection can make the peer buffer.
 MAX_FRAME_BYTES = 1 << 20
+
+# Ceiling on one query_many request's batch size.  Keeps a single
+# dispatch (which runs the whole batch as one admitted unit server-side)
+# from monopolising a worker, independent of the frame-size bound.
+MAX_BATCH_QUERIES = 256
 
 _HEADER = struct.Struct("!I")
 HEADER_BYTES = _HEADER.size
@@ -287,6 +297,66 @@ def query_from_args(args: Dict):
     if time_range is None and recency is None:
         return base
     return TemporalQuery(base, time_range, recency)
+
+
+def queries_to_args(queries) -> Dict:
+    """The wire form of a ``query_many`` batch."""
+    return {"queries": [query_to_args(q) for q in queries]}
+
+
+def queries_from_args(args: Dict) -> List:
+    """Parse and validate a ``query_many`` batch.
+
+    The whole request is rejected (``bad_request``) when any member is
+    malformed or the batch exceeds :data:`MAX_BATCH_QUERIES` — a
+    schema-level failure, unlike per-query *execution* failures which
+    are isolated into their outcome slots.
+    """
+    if not isinstance(args, dict):
+        raise ProtocolError("query_many args must be an object")
+    raw = args.get("queries")
+    if not isinstance(raw, list):
+        raise ProtocolError("queries must be a list")
+    if len(raw) > MAX_BATCH_QUERIES:
+        raise ProtocolError(
+            f"batch of {len(raw)} queries exceeds limit {MAX_BATCH_QUERIES}"
+        )
+    return [query_from_args(q) for q in raw]
+
+
+def outcomes_to_wire(outcomes) -> List[Dict]:
+    """Per-query batch outcomes: ``{"ok": true, "results": ...}`` or
+    ``{"ok": false, "error": <payload>}`` — one slot per input query, so
+    a failure never discards its batch-mates' answers."""
+    wire: List[Dict] = []
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            wire.append({"ok": False, "error": outcome.payload()})
+        else:
+            wire.append({"ok": True, "results": results_to_wire(outcome)})
+    return wire
+
+
+def outcomes_from_wire(raw) -> List:
+    """Decode batch outcomes; error slots become live
+    :class:`~repro.net.errors.NetError` instances (not raised here —
+    the client decides whether to raise or return them)."""
+    from repro.net.errors import error_from_payload
+
+    if not isinstance(raw, list):
+        raise ProtocolError("batch outcomes must be a list")
+    decoded: List = []
+    for slot in raw:
+        if not isinstance(slot, dict) or "ok" not in slot:
+            raise ProtocolError(f"malformed batch outcome: {slot!r}")
+        if slot["ok"]:
+            decoded.append(results_from_wire(slot.get("results")))
+        else:
+            error = slot.get("error")
+            if not isinstance(error, dict):
+                raise ProtocolError(f"malformed batch error: {slot!r}")
+            decoded.append(error_from_payload(error))
+    return decoded
 
 
 def results_to_wire(results) -> List[List]:

@@ -54,6 +54,8 @@ from repro.net.protocol import (
     encode_frame,
     error_response,
     ok_response,
+    outcomes_to_wire,
+    queries_from_args,
     query_from_args,
     read_frame,
     results_to_wire,
@@ -163,6 +165,69 @@ class ServiceBackend:
             return future.result(timeout=timeout_s)
         except FutureTimeout:
             raise QueryTimeout(timeout_s or 0.0, queued=False) from None
+
+    def query_many(self, queries, timeout_s: Optional[float]) -> List[Any]:
+        """Answer a batch; one outcome slot per query, input order.
+
+        A slot is a result list or a :class:`NetError` — per-query
+        failures (deadline, temporal refusal, degraded shard answer)
+        never discard batch-mates' results.  On a
+        :class:`~repro.service.QueryService` the batch is submitted as
+        one admitted unit (``submit_many``), so the whole batch shares
+        one queue slot and one read-lock acquisition.
+        """
+        temporal_ok = (
+            not self._is_cluster
+            and getattr(self.target, "temporal", None) is not None
+        )
+        outcomes: List[Any] = [None] * len(queries)
+        accepted: List[Tuple[int, Any]] = []
+        for i, query in enumerate(queries):
+            if isinstance(query, TemporalQuery) and not temporal_ok:
+                outcomes[i] = ProtocolError(
+                    "temporal queries require a temporal-index backend"
+                )
+            else:
+                accepted.append((i, query))
+        if not accepted:
+            return outcomes
+        batch = [query for _, query in accepted]
+        if self._is_cluster:
+            for (i, _), answer in zip(accepted, self.target.query_many(batch)):
+                if answer.degraded:
+                    outcomes[i] = RemoteError(
+                        "answer degraded "
+                        f"(failed shards {answer.failed_shards})"
+                    )
+                else:
+                    outcomes[i] = list(answer.results)
+            return outcomes
+        service = self.target
+        future = service.submit_many(batch)
+        if service.sim_executor is not None:
+            service.sim_executor.run_until(future.done)
+            try:
+                raw = future.result(timeout=0)
+            except FutureTimeout:
+                raise QueryTimeout(timeout_s or 0.0, queued=False) from None
+        else:
+            try:
+                raw = future.result(timeout=timeout_s)
+            except FutureTimeout:
+                raise QueryTimeout(timeout_s or 0.0, queued=False) from None
+        for (i, _), outcome in zip(accepted, raw):
+            if isinstance(outcome, BaseException):
+                if isinstance(outcome, QueryTimeout):
+                    outcomes[i] = DeadlineExceeded(str(outcome))
+                elif isinstance(outcome, NetError):
+                    outcomes[i] = outcome
+                else:
+                    outcomes[i] = RemoteError(
+                        f"{type(outcome).__name__}: {outcome}"
+                    )
+            else:
+                outcomes[i] = outcome
+        return outcomes
 
     def insert(self, doc: SpatialDocument):
         if self._is_cluster:
@@ -351,6 +416,11 @@ class ConnectionCore:
                     query_from_args(args), timeout_s=deadline_s
                 )
                 return results_to_wire(results)
+            if op == "query_many":
+                outcomes = server.backend.query_many(
+                    queries_from_args(args), timeout_s=deadline_s
+                )
+                return {"outcomes": outcomes_to_wire(outcomes)}
             if op in ("insert", "delete"):
                 if not tenant.quota.allow_writes:
                     raise Unauthorized(

@@ -39,6 +39,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from repro.core.index import I3Index
 from repro.core.recovery import DurableIndex, RecoveryReport
 from repro.db import SpatialKeywordDatabase
+from repro.exec import ENGINES
+from repro.exec.batch import run_batch
 from repro.model.query import TopKQuery
 from repro.model.scoring import Ranker
 from repro.service.admission import AdmissionController
@@ -70,6 +72,11 @@ class ServiceConfig:
         metrics_reservoir: Latency-histogram reservoir size.
         metrics_seed: Seed for the histogram reservoirs (reproducible
             quantiles in tests/benchmarks); ``None`` = nondeterministic.
+        engine: Execution engine for index queries (``"tuple"`` /
+            ``"vector"``); ``None`` defers to the index's own setting,
+            the ``REPRO_ENGINE`` environment variable, and finally the
+            vector default (see :func:`repro.exec.resolve_engine`).
+            Both engines return byte-identical results.
     """
 
     workers: int = 4
@@ -78,10 +85,15 @@ class ServiceConfig:
     cache_capacity: int = 256
     metrics_reservoir: int = 1024
     metrics_seed: Optional[int] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
             raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         if self.max_pending < self.workers:
             raise ValueError(
                 f"max_pending ({self.max_pending}) must be >= workers "
@@ -138,18 +150,23 @@ class _ReadWriteLock:
 
 
 class _Task:
-    """One admitted query waiting in (or leaving) the service queue."""
+    """One admitted unit of work waiting in (or leaving) the queue.
 
-    __slots__ = ("query", "future", "enqueued", "deadline")
+    ``query`` is a single :class:`TopKQuery`, or — when ``many`` — the
+    list of queries of one :meth:`QueryService.submit_many` batch.
+    """
+
+    __slots__ = ("query", "future", "enqueued", "deadline", "many")
 
     def __init__(
-        self, query: TopKQuery, future: "Future", enqueued: float,
-        deadline: Optional[float],
+        self, query, future: "Future", enqueued: float,
+        deadline: Optional[float], many: bool = False,
     ) -> None:
         self.query = query
         self.future = future
         self.enqueued = enqueued
         self.deadline = deadline
+        self.many = many
 
 
 _SHUTDOWN = object()
@@ -213,6 +230,11 @@ class QueryService:
         self.target = target
         self._ranker = (
             ranker if ranker is not None else Ranker(self._index.space)
+        )
+        # Forwarded to every target query only when an engine is pinned;
+        # unset, the target applies its own default resolution.
+        self._engine_kwargs: Dict[str, str] = (
+            {} if self.config.engine is None else {"engine": self.config.engine}
         )
         self.metrics = (
             metrics
@@ -322,6 +344,86 @@ class QueryService:
         """
         futures = [self.submit(query, block=True) for query in queries]
         return [future.result() for future in futures]
+
+    def submit_many(
+        self, queries: Sequence[TopKQuery], block: bool = True
+    ) -> "Future":
+        """Enqueue a query batch as ONE unit of work; returns a future.
+
+        The future resolves to a list with one entry per query, in
+        input order: the query's result list, or — failures being
+        isolated per query, never poisoning the rest of the batch — the
+        exception that query raised (e.g. :class:`QueryTimeout` for
+        queries the batch deadline expired on).
+
+        Unlike :meth:`search_batch` (which spreads queries across the
+        worker pool for parallelism), the batch runs on a single worker
+        under a single read-lock acquisition and shares one columnar
+        cell cache, so queries touching the same keyword cells amortize
+        page reads and decodes (:meth:`I3Index.query_many`).  The batch
+        occupies one admission slot.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        queries = list(queries)
+        self.metrics.counter("queries.submitted").inc(len(queries))
+        self.metrics.counter("batches.submitted").inc()
+        if not queries:
+            future: "Future" = Future()
+            future.set_result([])
+            return future
+        admitted = (
+            self._admission.acquire() if block else self._admission.try_acquire()
+        )
+        if not admitted:
+            self.metrics.counter("queries.shed").inc(len(queries))
+            raise ServiceOverloaded(self._admission.pending, self.config.max_pending)
+        if self._closed:  # closed while we waited for admission
+            self._admission.release()
+            raise ServiceClosed("service is closed")
+        now = self._now()
+        deadline = (
+            now + self.config.timeout if self.config.timeout is not None else None
+        )
+        task = _Task(queries, Future(), enqueued=now, deadline=deadline, many=True)
+        self.metrics.gauge("queue.depth").inc()
+        self._queue.put(task)
+        if self._executor is not None:
+            self._executor.spawn(self._step_once)
+        return task.future
+
+    def search_many(
+        self, queries: Sequence[TopKQuery], return_exceptions: bool = False
+    ) -> List[Any]:
+        """Execute a batch through :meth:`submit_many` and wait.
+
+        With ``return_exceptions=False`` (default) the first per-query
+        failure is raised — after the whole batch ran, so one bad query
+        cannot suppress its neighbours' execution.  With
+        ``return_exceptions=True`` the raw outcome list is returned
+        (result list or exception per query, in input order).
+        """
+        future = self.submit_many(queries)
+        if self._executor is not None:
+            self._executor.run_until(future.done)
+            try:
+                outcomes = future.result(timeout=0)
+            except FutureTimeout:
+                self.metrics.counter("queries.timed_out").inc()
+                raise QueryTimeout(self.config.timeout, queued=False) from None
+        elif self.config.timeout is None:
+            outcomes = future.result()
+        else:
+            try:
+                outcomes = future.result(timeout=self.config.timeout)
+            except FutureTimeout:
+                self.metrics.counter("queries.timed_out").inc()
+                raise QueryTimeout(self.config.timeout, queued=False) from None
+        if not return_exceptions:
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+        return outcomes
 
     # ------------------------------------------------------------------
     # Mutations (exclusive with respect to queries)
@@ -540,11 +642,21 @@ class QueryService:
         self.metrics.gauge("queries.inflight").inc()
         try:
             started = self._now()
-            result = self._execute(task.query)
+            if task.many:
+                result = self._execute_many(task.query, task.deadline)
+                completed = sum(
+                    1 for r in result if not isinstance(r, BaseException)
+                )
+                self.metrics.counter("queries.completed").inc(completed)
+                failed = len(result) - completed
+                if failed:
+                    self.metrics.counter("queries.failed").inc(failed)
+            else:
+                result = self._execute(task.query)
+                self.metrics.counter("queries.completed").inc()
             self.metrics.histogram("latency_ms").observe(
                 (self._now() - started) * 1000.0
             )
-            self.metrics.counter("queries.completed").inc()
             task.future.set_result(result)
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
             self.metrics.counter("queries.failed").inc()
@@ -568,10 +680,12 @@ class QueryService:
                         semantics=query.semantics,
                         alpha=self._ranker.alpha,
                         cache=self.cache,
+                        **self._engine_kwargs,
                     )
                 else:
                     result = self._index.query(
-                        query, self._ranker, cache=self.cache
+                        query, self._ranker, cache=self.cache,
+                        **self._engine_kwargs,
                     )
         finally:
             self._rwlock.release_read()
@@ -579,6 +693,84 @@ class QueryService:
             local.snapshot().total_reads
         )
         return result
+
+    def _execute_many(
+        self, queries: List[TopKQuery], deadline: Optional[float]
+    ) -> List[Any]:
+        """One batch under ONE shared-lock acquisition.
+
+        Holding the read lock across the batch gives every query the
+        same index epoch and makes the shared columnar cell cache sound
+        (no mutation can invalidate a cached cell mid-batch).  The
+        ``guard`` enforces the batch deadline per query: queries the
+        deadline expires on become :class:`QueryTimeout` outcomes while
+        earlier queries keep their results.
+        """
+
+        def guard(_query: TopKQuery) -> None:
+            if deadline is not None and self._now() >= deadline:
+                raise QueryTimeout(self.config.timeout, queued=False)
+
+        local = IOStats()
+        self._rwlock.acquire_read()
+        try:
+            with self._index.stats.tee(local):
+                if self._db is not None:
+                    outcomes: List[Any] = []
+                    for query in queries:
+                        try:
+                            guard(query)
+                            outcomes.append(
+                                self._db.search(
+                                    query.x,
+                                    query.y,
+                                    list(query.words),
+                                    k=query.k,
+                                    semantics=query.semantics,
+                                    alpha=self._ranker.alpha,
+                                    cache=self.cache,
+                                    **self._engine_kwargs,
+                                )
+                            )
+                        except Exception as exc:
+                            outcomes.append(exc)
+                elif self._temporal is not None or not hasattr(
+                    self._index, "engine_processor"
+                ):
+                    # Temporal scans are slice-ordered streams above the
+                    # engine seam (and index-shaped test doubles have no
+                    # engine seam at all); run these one by one — still
+                    # under the single lock acquisition, with the same
+                    # per-query deadline guard.
+                    outcomes = []
+                    for query in queries:
+                        try:
+                            guard(query)
+                            outcomes.append(
+                                self._index.query(
+                                    query, self._ranker, cache=self.cache,
+                                    **self._engine_kwargs,
+                                )
+                            )
+                        except Exception as exc:
+                            outcomes.append(exc)
+                else:
+                    outcomes = run_batch(
+                        self._index,
+                        queries,
+                        self._ranker,
+                        self.cache,
+                        None,
+                        self.config.engine,
+                        guard=guard,
+                        capture_errors=True,
+                    )
+        finally:
+            self._rwlock.release_read()
+        self.metrics.histogram("io.reads_per_query").observe(
+            local.snapshot().total_reads / max(1, len(queries))
+        )
+        return outcomes
 
     # ------------------------------------------------------------------
     # Metrics

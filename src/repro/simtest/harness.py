@@ -33,6 +33,12 @@ Invariants checked (named for shrinking identity):
   tier (real :class:`~repro.net.server.ConnectionCore`, scripted
   connection faults, virtual-time retries) return exactly the model's
   top-k: wire trouble may cost retries, never correctness.
+* ``exec-equivalence`` — on every ``query_many`` step, the same batch
+  executed directly under each available execution engine returns
+  **bit-identical** ``ScoredDoc`` streams (``float.hex`` comparison,
+  stricter than the 9-decimal rounding every other invariant uses).
+  This is the only invariant that can see a sub-rounding score drift
+  in the vectorized engine.
 * ``temporal-equivalence`` — every time-filtered / recency-weighted
   query against the time-sliced index equals the naive temporal
   oracle's full-scan answer.
@@ -47,7 +53,10 @@ applies every 5th mutation to the index while skipping its WAL append;
 ``stale-cache`` swaps in a result cache that ignores epochs;
 ``dropped-push`` silently discards every 3rd subscriber notification;
 ``stale-slice`` resurrects every retention-dropped slice so expired
-documents never actually leave the query path.
+documents never actually leave the query path; ``vector-skew`` drifts
+every vector-engine score by one ulp — invisible to every rounded
+comparison, caught only by the bit-exact ``exec-equivalence``
+differential.
 """
 
 from __future__ import annotations
@@ -91,7 +100,13 @@ from repro.temporal.oracle import NaiveTemporalIndex
 
 __all__ = ["BUGS", "SimFailure", "SimReport", "run_seed", "run_trace", "shrink_failure"]
 
-BUGS = ("lost-wal-record", "stale-cache", "dropped-push", "stale-slice")
+BUGS = (
+    "lost-wal-record",
+    "stale-cache",
+    "dropped-push",
+    "stale-slice",
+    "vector-skew",
+)
 
 
 @dataclass(frozen=True)
@@ -117,6 +132,33 @@ class SimReport:
     @property
     def ok(self) -> bool:
         return self.failure is None
+
+
+class _SkewedVectorProcessor:
+    """Injected bug: the vector engine's scores drift by one ulp.
+
+    This is the failure mode a real vectorization bug produces — an
+    accumulation-order or precision change too small for any rounded
+    comparison to see.  ``result_pairs`` rounds to 9 decimals, so every
+    other invariant stays green; only the bit-exact cross-engine
+    differential (``exec-equivalence``) can convict it.
+    """
+
+    def __init__(self, index) -> None:
+        from repro.exec.vector import VectorQueryProcessor
+
+        self._real = VectorQueryProcessor(index)
+
+    def search(self, query, ranker, context=None):
+        import math
+
+        if context is not None:
+            out = self._real.search(query, ranker, context=context)
+        else:
+            out = self._real.search(query, ranker)
+        return [
+            type(r)(math.nextafter(r.score, math.inf), r.doc_id) for r in out
+        ]
 
 
 class _StaleCache(QueryResultCache):
@@ -208,6 +250,7 @@ class _Simulation:
         )
         if self.bug == "stale-cache":
             self.service.cache = _StaleCache(capacity=64)
+        self._install_vector_skew()
         self.streams = self.service.streams(StreamConfig())
         if self.bug == "dropped-push":
             matcher = self.streams.matcher
@@ -248,6 +291,20 @@ class _Simulation:
             self.owned[name] = {}
             self._drops_seen[name] = 0
         self._setup_temporal(cfg.get("temporal"))
+
+    def _install_vector_skew(self) -> None:
+        """Plant the vector-skew bug on the index currently served.
+
+        Re-run after every recovery: a crash step swaps in a freshly
+        rebuilt index, and the canary must keep limping on it."""
+        if self.bug != "vector-skew":
+            return
+        from repro.exec import available_engines
+
+        if "vector" not in available_engines():
+            return  # no vector engine to skew on this host
+        index = self.service.index
+        index._vector_processor = _SkewedVectorProcessor(index)
 
     def _setup_temporal(self, tcfg: Optional[Dict]) -> None:
         """The temporal sub-system and its naive oracle (single mode).
@@ -414,6 +471,7 @@ class _Simulation:
             "delete": self._do_mutation,
             "update": self._do_mutation,
             "query": self._do_query,
+            "query_many": self._do_query_many,
             "net_query": self._do_net_query,
             "checkpoint": lambda step: self.service.checkpoint(),
             "crash": self._do_crash,
@@ -504,6 +562,78 @@ class _Simulation:
             )
         self.events.append({"op": "query", "results": got})
 
+    def _do_query_many(self, step: Dict) -> None:
+        queries = [query_from_dict(q) for q in step["queries"]]
+        answers = self.service.search_many(queries)
+        got = [result_pairs(r) for r in answers]
+        expected = [self.oracle.topk_pairs(q) for q in queries]
+        if got != expected:
+            i = next(
+                j for j, (g, e) in enumerate(zip(got, expected)) if g != e
+            )
+            # Same stale-vs-wrong distinction as the single-query path.
+            fresh = result_pairs(
+                self.service.read(
+                    lambda _t: self.service.index.query(
+                        queries[i], self.ranker
+                    )
+                )
+            )
+            if fresh == expected[i]:
+                raise InvariantViolation(
+                    "cache-coherence",
+                    f"batch slot {i} served {got[i]} but a cache-bypassing "
+                    f"query agrees with the model ({expected[i]}) — stale "
+                    f"cache entry",
+                )
+            raise InvariantViolation(
+                "topk-equivalence",
+                f"batch slot {i} ({step['queries'][i]}) returned {got[i]}, "
+                f"model says {expected[i]}",
+            )
+        self._check_exec_equivalence(queries, step)
+        self.events.append({"op": "query_many", "results": got})
+
+    def _check_exec_equivalence(self, queries: List[TopKQuery], step) -> None:
+        """The cross-engine differential, bit-exact.
+
+        Runs the batch directly against the index — no service, no
+        cache — once per available engine and compares ``float.hex``
+        score streams, so a divergence is attributable to the engines
+        alone and even a one-ulp drift is a conviction.
+        """
+        from repro.exec import available_engines
+
+        engines = available_engines()
+        if len(engines) < 2:
+            return  # one engine: nothing to differ
+        streams = {}
+        for engine in engines:
+            answers = self.service.read(
+                lambda _t, e=engine: self.service.index.query_many(
+                    queries, self.ranker, engine=e
+                )
+            )
+            streams[engine] = [
+                [(d.doc_id, d.score.hex()) for d in result]
+                for result in answers
+            ]
+        baseline_engine = engines[0]
+        baseline = streams[baseline_engine]
+        for engine in engines[1:]:
+            if streams[engine] != baseline:
+                i = next(
+                    j
+                    for j, (a, b) in enumerate(zip(streams[engine], baseline))
+                    if a != b
+                )
+                raise InvariantViolation(
+                    "exec-equivalence",
+                    f"batch slot {i} ({step['queries'][i]}): engine "
+                    f"{engine!r} returned {streams[engine][i]}, "
+                    f"{baseline_engine!r} returned {baseline[i]}",
+                )
+
     def _do_net_query(self, step: Dict) -> None:
         query = query_from_dict(step["query"])
         faults = list(step.get("faults", ()))
@@ -566,6 +696,7 @@ class _Simulation:
                 f"acknowledged history left it at {expected_epoch}",
             )
         self.oracle.truncate_to(recovered)
+        self._install_vector_skew()  # recovery swapped in a fresh index
         self._epoch_watermark = self.service.index.epoch
         self.events.append({"op": "crash", "recovered": recovered,
                             "acked": acked, "submitted": submitted})
@@ -741,6 +872,7 @@ class _Simulation:
             "insert": self._do_cluster_mutation,
             "delete": self._do_cluster_mutation,
             "search": self._do_search,
+            "search_many": self._do_search_many,
             "shard_checkpoint": self._do_shard_checkpoint,
             "outage": self._do_outage,
         }
@@ -780,6 +912,28 @@ class _Simulation:
 
     def _do_search(self, step: Dict) -> None:
         self._search_and_check(step["query"], "search")
+
+    def _do_search_many(self, step: Dict) -> None:
+        queries = [query_from_dict(q) for q in step["queries"]]
+        answers = self.cluster.query_many(queries)
+        batch_results = []
+        for i, (query, answer) in enumerate(zip(queries, answers)):
+            if answer.degraded:
+                raise InvariantViolation(
+                    "cluster-degraded",
+                    f"search_many slot {i}: answer degraded (failed shards "
+                    f"{answer.failed_shards}) with a full replica set",
+                )
+            got = result_pairs(answer.results)
+            expected = self.oracle.topk_pairs(query)
+            if got != expected:
+                raise InvariantViolation(
+                    "topk-equivalence",
+                    f"search_many slot {i} ({step['queries'][i]}) returned "
+                    f"{got}, model says {expected}",
+                )
+            batch_results.append(got)
+        self.events.append({"op": "search_many", "results": batch_results})
 
     def _do_shard_checkpoint(self, step: Dict) -> None:
         rep = self.cluster.replica(step["shard"], step["replica"])

@@ -2,8 +2,8 @@
 
 A *trace* is a plain-JSON description of one whole-system run: the
 initial corpus, the subscriber roster, and a step list mixing document
-mutations, AND/OR top-k queries, checkpoints, crash/recover cycles,
-replica outages, and subscriber kill/resume.  Every step is
+mutations, AND/OR top-k queries (single and batched), checkpoints,
+crash/recover cycles, replica outages, and subscriber kill/resume.  Every step is
 **self-contained** — it carries all the randomness it needs (document
 payloads, crash salts, crash-point offsets) rather than drawing from a
 shared RNG at execution time.  That property is what makes traces
@@ -305,15 +305,23 @@ def _single_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
             trace_steps.append(mutation_step())
         elif roll < 0.44:
             trace_steps.append({"op": "query", "query": pool.next()})
-        elif roll < 0.52:
+        elif roll < 0.50:
+            # A batch through query_many: the step both checks every
+            # slot against the model and runs the cross-engine
+            # differential (the exec-equivalence invariant).
+            batch = [pool.next() for _ in range(rng.randint(2, 5))]
+            if rng.random() < 0.3:
+                batch[-1] = dict(batch[0])  # duplicates exercise dedup
+            trace_steps.append({"op": "query_many", "queries": batch})
+        elif roll < 0.56:
             trace_steps.append({
                 "op": "net_query",
                 "query": pool.next(),
                 "faults": net_faults(),
             })
-        elif roll < 0.56:
+        elif roll < 0.60:
             trace_steps.append({"op": "checkpoint"})
-        elif roll < 0.62:
+        elif roll < 0.65:
             burst = [mutation_step() for _ in range(rng.randint(1, 4))]
             trace_steps.append({
                 "op": "crash",
@@ -324,15 +332,15 @@ def _single_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
                 "burst": burst,
                 "probes": [_state_probe(), pool.next(), pool.next()],
             })
-        elif roll < 0.65:
+        elif roll < 0.68:
             sub = rng.choice(subscribers)
             trace_steps.append({
                 "op": "register", "sub": sub["name"],
                 "query": pool.next(), "alpha": 0.5,
             })
-        elif roll < 0.74:
+        elif roll < 0.76:
             trace_steps.append({"op": "poll", "sub": rng.choice(subscribers)["name"]})
-        elif roll < 0.78:
+        elif roll < 0.80:
             trace_steps.append({"op": "kill_resume",
                                 "sub": rng.choice(subscribers)["name"]})
         else:
@@ -378,8 +386,13 @@ def _cluster_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
             doc_id = rng.choice(sorted(live))
             live.discard(doc_id)
             trace_steps.append({"op": "delete", "doc_id": doc_id})
-        elif roll < 0.80:
+        elif roll < 0.72:
             trace_steps.append({"op": "search", "query": pool.next()})
+        elif roll < 0.80:
+            trace_steps.append({
+                "op": "search_many",
+                "queries": [pool.next() for _ in range(rng.randint(2, 4))],
+            })
         elif roll < 0.88:
             trace_steps.append({
                 "op": "shard_checkpoint",

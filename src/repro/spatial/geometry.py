@@ -17,8 +17,21 @@ __all__ = ["Rect", "point_distance", "UNIT_SQUARE"]
 
 
 def point_distance(x1: float, y1: float, x2: float, y2: float) -> float:
-    """Euclidean distance between two points."""
-    return math.hypot(x1 - x2, y1 - y2)
+    """Euclidean distance between two points.
+
+    Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot``:
+    every step is a correctly-rounded IEEE-754 operation, so the value
+    is bit-identical to the vectorised ``np.sqrt(dx*dx + dy*dy)`` used
+    by the batch execution engine (``repro.exec``).  ``math.hypot`` is
+    *more* accurate (it computes the exact result, then rounds once)
+    and therefore occasionally differs from the numpy expression by one
+    ulp — enough to break the cross-engine byte-equivalence contract.
+    Coordinates here are bounded data-space values, so the classical
+    overflow/underflow concerns hypot exists for do not apply.
+    """
+    dx = x1 - x2
+    dy = y1 - y2
+    return math.sqrt(dx * dx + dy * dy)
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,13 +126,15 @@ class Rect:
         """
         dx = max(self.min_x - x, 0.0, x - self.max_x)
         dy = max(self.min_y - y, 0.0, y - self.max_y)
-        return math.hypot(dx, dy)
+        # sqrt-of-squares, not hypot: see point_distance for why.
+        return math.sqrt(dx * dx + dy * dy)
 
     def max_dist(self, x: float, y: float) -> float:
         """Maximum Euclidean distance from ``(x, y)`` to the rectangle."""
         dx = max(abs(x - self.min_x), abs(x - self.max_x))
         dy = max(abs(y - self.min_y), abs(y - self.max_y))
-        return math.hypot(dx, dy)
+        # sqrt-of-squares, not hypot: see point_distance for why.
+        return math.sqrt(dx * dx + dy * dy)
 
     # ------------------------------------------------------------------
     # Construction helpers

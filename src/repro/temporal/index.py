@@ -448,6 +448,7 @@ class TemporalIndex:
         ranker: Optional[Ranker] = None,
         cache=None,
         io_sink: Optional[IOStats] = None,
+        engine: Optional[str] = None,
     ) -> List[ScoredDoc]:
         """Answer a (possibly temporal) top-k query exactly.
 
@@ -455,7 +456,16 @@ class TemporalIndex:
         with no recency term — the shape ``QueryService`` and standing
         queries use.  Caching follows the I3 contract: entries keyed by
         ``(query, alpha)`` and stamped with :attr:`epoch`.
+
+        ``engine`` is accepted for interface compatibility with
+        :meth:`repro.core.index.I3Index.query` (the service layer passes
+        its configured engine to whatever target it serves).  Temporal
+        answers come from best-first slice *streams* whose per-document
+        rescore sits above the engine seam, so both engines are — by
+        construction — byte-identical here; the parameter currently
+        selects nothing.
         """
+        del engine  # temporal scans are engine-independent (see above)
         tq = query if isinstance(query, TemporalQuery) else TemporalQuery(query)
         if ranker is None:
             ranker = Ranker(self.space)

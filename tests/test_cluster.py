@@ -38,6 +38,14 @@ from tests.helpers import make_documents, results_as_pairs
 VOCAB_EXTRA = ["tea", "ramen", "vegan", "tapas", "deli", "bakery"]
 
 
+@pytest.fixture(autouse=True)
+def _engines(engine):
+    """The whole module runs under both execution engines (shared
+    ``engine`` fixture): scatter-gather equivalence, failover and
+    caching must hold identically whichever engine the shard services
+    score with."""
+
+
 def _corpus(rng, count=250):
     from tests.helpers import DEFAULT_VOCAB
 

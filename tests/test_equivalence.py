@@ -25,6 +25,16 @@ from tests.helpers import make_documents, results_as_pairs
 VOCAB = [f"w{i}" for i in range(18)]
 
 
+@pytest.fixture(autouse=True)
+def _engines(engine):
+    """Every equivalence assertion must hold under BOTH execution
+    engines: the whole module is parametrized over engine={tuple,vector}
+    (via the shared ``engine`` fixture), making this the cross-engine
+    differential suite — the naive oracle pins the answer, and the
+    vector engine must match it byte for byte wherever the tuple engine
+    does."""
+
+
 def build_all(docs, threshold=3, page_size=64, max_entries=4):
     """All four engines over the same documents, with tiny parameters so
     every split/promotion path is exercised."""

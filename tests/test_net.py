@@ -49,6 +49,14 @@ TENANTS = {
 }
 
 
+@pytest.fixture(autouse=True)
+def _engines(engine):
+    """Wire equivalence holds under both execution engines: the module
+    is parametrized over engine={tuple,vector} via the shared fixture.
+    Engine resolution happens per query call (reading ``REPRO_ENGINE``),
+    so one server boot serves both parameters."""
+
+
 def _queries(count: int, seed: int = 7):
     rng = random.Random(seed)
     out = []
@@ -99,6 +107,21 @@ class TestWireEquivalence:
                     json.dumps(results_to_wire(direct))
         finally:
             client.close()
+
+    def test_search_many_matches_singles(self, served):
+        """One ``query_many`` round trip equals the same queries one by
+        one — including the JSON float digits — and slots line up with
+        input order."""
+        service, server = served
+        queries = _queries(24, seed=11)
+        with _client(server) as client:
+            singles = [client.search(q) for q in queries]
+            batched = client.search_many(queries)
+            assert batched == singles
+            assert json.dumps(
+                [results_to_wire(r) for r in batched]
+            ) == json.dumps([results_to_wire(r) for r in singles])
+            assert client.search_many([]) == []
 
     def test_search_by_parts_matches_query_object(self, served):
         service, server = served

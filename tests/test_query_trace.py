@@ -23,7 +23,7 @@ class TestQueryTrace:
     def test_trace_populated(self, loaded):
         ranker = Ranker(UNIT_SQUARE, 0.5)
         loaded.query(TopKQuery(0.5, 0.5, ("restaurant",), k=5), ranker)
-        trace = loaded._processor.last_trace
+        trace = loaded.engine_processor().last_trace
         assert trace.candidates_popped > 0
         assert trace.docs_scored > 0
         assert trace.candidates_pushed >= trace.candidates_popped - 1
@@ -36,20 +36,20 @@ class TestQueryTrace:
         loaded.query(
             TopKQuery(0.5, 0.5, words, k=5, semantics=Semantics.AND), ranker
         )
-        and_popped = loaded._processor.last_trace.candidates_popped
+        and_popped = loaded.engine_processor().last_trace.candidates_popped
         loaded.query(
             TopKQuery(0.5, 0.5, words, k=5, semantics=Semantics.OR), ranker
         )
-        or_popped = loaded._processor.last_trace.candidates_popped
+        or_popped = loaded.engine_processor().last_trace.candidates_popped
         assert and_popped <= or_popped
 
     def test_small_k_prunes_more_than_large_k(self, loaded):
         ranker = Ranker(UNIT_SQUARE, 0.5)
         words = ("spicy", "restaurant")
         loaded.query(TopKQuery(0.5, 0.5, words, k=1), ranker)
-        small = loaded._processor.last_trace.candidates_popped
+        small = loaded.engine_processor().last_trace.candidates_popped
         loaded.query(TopKQuery(0.5, 0.5, words, k=200), ranker)
-        large = loaded._processor.last_trace.candidates_popped
+        large = loaded.engine_processor().last_trace.candidates_popped
         assert small <= large
 
     def test_missing_keyword_and_query_touches_nothing(self, loaded):
@@ -67,8 +67,8 @@ class TestQueryTrace:
     def test_trace_resets_per_query(self, loaded):
         ranker = Ranker(UNIT_SQUARE, 0.5)
         loaded.query(TopKQuery(0.5, 0.5, ("restaurant",), k=50), ranker)
-        first = loaded._processor.last_trace
+        first = loaded.engine_processor().last_trace
         loaded.query(TopKQuery(0.5, 0.5, ("ghost",), k=5), ranker)
-        second = loaded._processor.last_trace
+        second = loaded.engine_processor().last_trace
         assert second is not first
         assert second.docs_scored == 0

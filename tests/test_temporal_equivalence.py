@@ -64,6 +64,15 @@ def make_queries(rng, vocab):
     return queries
 
 
+@pytest.fixture(autouse=True)
+def _engines(engine):
+    """Both execution engines must produce oracle-identical temporal
+    answers.  The temporal rescore itself streams above the engine seam,
+    so this pins the documented invariant that ``engine`` never changes
+    a temporal result — and keeps pinning it if slice scans are ever
+    routed through the seam."""
+
+
 @pytest.fixture(scope="module", params=sorted(TEMPORAL_SCENARIOS))
 def scenario(request):
     corpus = TEMPORAL_SCENARIOS[request.param](
