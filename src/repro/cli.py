@@ -598,11 +598,23 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig
 
     corpus = TwitterLikeGenerator(args.docs, seed=args.seed).generate()
+    queries = _shard_bench_queries(corpus, args)
     if args.partitioner == "hash":
         partitioner = HashPartitioner(args.shards, corpus.space)
-    else:
+    elif args.partitioner == "spatial":
         partitioner = SpatialGridPartitioner.from_documents(
             args.shards, corpus.space, corpus.documents
+        )
+    else:
+        from repro.planner import WorkloadModel, WorkloadPartitioner
+
+        # Learn from the benchmark's own request stream — the offline
+        # analogue of recording live traffic and running `repro plan`.
+        partitioner = WorkloadPartitioner.learn(
+            args.shards,
+            corpus.space,
+            corpus.documents,
+            model=WorkloadModel.from_queries(queries, corpus.space),
         )
     config = ClusterConfig(
         replicas=args.replicas,
@@ -613,7 +625,6 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
         ),
         metrics_seed=args.seed,
     )
-    queries = _shard_bench_queries(corpus, args)
     ranker = Ranker(corpus.space, alpha=args.alpha)
     degraded = 0
     start = time.perf_counter()
@@ -690,6 +701,88 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
             )
         if args.manifest_out:
             print(f"manifest -> {args.manifest_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Learn a workload-aware shard placement offline.
+
+    Reads a JSONL corpus plus (optionally) a query log persisted by
+    :meth:`repro.planner.QueryLogRecorder.save`, learns a
+    :class:`~repro.planner.WorkloadPartitioner`, and writes the shard
+    manifest ``ClusterService.build``/``recover`` consume — the offline
+    half of the record -> plan -> rebalance loop.
+    """
+    from repro.cluster import HashPartitioner
+    from repro.cluster.partition import build_manifest
+    from repro.planner import (
+        QueryLogRecorder,
+        WorkloadModel,
+        WorkloadPartitioner,
+        estimate_shards_touched,
+    )
+
+    documents = _read_corpus(args.corpus)
+    recorder = None
+    model = None
+    if args.query_log:
+        recorder = QueryLogRecorder.load(args.query_log)
+        model = WorkloadModel.from_recorder(recorder)
+        space = recorder.space
+    else:
+        try:
+            values = tuple(float(v) for v in args.space.split(","))
+            space = Rect(*values)
+        except (TypeError, ValueError):
+            raise SystemExit(
+                f"bad --space {args.space!r}; expected minx,miny,maxx,maxy"
+            )
+    partitioner = WorkloadPartitioner.learn(
+        args.shards, space, documents, model=model
+    )
+    counts = [0] * args.shards
+    for doc in documents:
+        counts[partitioner.shard_of(doc)] += 1
+    manifest = build_manifest(partitioner, args.replicas, counts)
+    manifest.save(args.out)
+    report = {
+        "shards": args.shards,
+        "documents": len(documents),
+        "shard_documents": counts,
+        "recorded_queries": recorder.recorded if recorder is not None else 0,
+        "query_shapes": len(model) if model is not None else 0,
+        "manifest": args.out,
+    }
+    if model is not None and model.total_weight > 0:
+        report["expected_shards_touched"] = round(
+            estimate_shards_touched(partitioner, documents, model), 3
+        )
+        report["expected_shards_touched_hash"] = round(
+            estimate_shards_touched(
+                HashPartitioner(args.shards, space), documents, model
+            ),
+            3,
+        )
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        print(
+            f"planned {len(documents)} documents onto {args.shards} shards "
+            f"(loads {counts}) -> {args.out}"
+        )
+        if model is not None and model.total_weight > 0:
+            print(
+                f"workload: {report['recorded_queries']} recorded queries, "
+                f"{report['query_shapes']} shapes; expected shards touched "
+                f"per query {report['expected_shards_touched']} "
+                f"(hash placement: {report['expected_shards_touched_hash']})"
+            )
+        else:
+            print(
+                "no query log: balanced spatial packing only "
+                "(pass --query-log to optimise for a workload)"
+            )
     return 0
 
 
@@ -1202,7 +1295,7 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--shards", type=int, default=4)
     shard.add_argument("--replicas", type=int, default=1)
     shard.add_argument(
-        "--partitioner", choices=["hash", "spatial"], default="hash"
+        "--partitioner", choices=["hash", "spatial", "workload"], default="hash"
     )
     shard.add_argument(
         "--scatter-width", type=int, default=2,
@@ -1303,7 +1396,7 @@ def build_parser() -> argparse.ArgumentParser:
     simtest.add_argument(
         "--inject-bug",
         choices=["lost-wal-record", "stale-cache", "dropped-push",
-                 "stale-slice", "vector-skew"],
+                 "stale-slice", "vector-skew", "lost-shard-route"],
         help="canary mode: flip a known-bad code path and assert the "
         "harness catches it (and that the shrunk trace still fails)",
     )
@@ -1317,6 +1410,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simtest.add_argument("--json", action="store_true", help="JSON output")
     simtest.set_defaults(func=_cmd_simtest)
+
+    plan = sub.add_parser(
+        "plan",
+        help="learn a workload-aware shard placement from a query log "
+        "and write its shard manifest",
+    )
+    plan.add_argument(
+        "--corpus", required=True, help="JSONL corpus to place onto shards"
+    )
+    plan.add_argument("--shards", type=int, default=4)
+    plan.add_argument(
+        "--replicas", type=int, default=1,
+        help="replica count recorded in the manifest",
+    )
+    plan.add_argument(
+        "--query-log",
+        help="query log JSON written by the service recorder; omitted = "
+        "balanced spatial packing with no workload signal",
+    )
+    plan.add_argument(
+        "--space", default="0,0,1,1",
+        help="data space as minx,miny,maxx,maxy (ignored when --query-log "
+        "carries the recorded space)",
+    )
+    plan.add_argument(
+        "--out", required=True, help="shard manifest JSON output path"
+    )
+    plan.add_argument("--json", action="store_true", help="JSON report")
+    plan.set_defaults(func=_cmd_plan)
 
     return parser
 

@@ -66,7 +66,8 @@ class ShardManifest:
     """The persisted description of one partitioned deployment.
 
     Attributes:
-        partitioner: Partitioner kind, ``"hash"`` or ``"spatial"``.
+        partitioner: Partitioner kind — ``"hash"``, ``"spatial"``, or
+            ``"workload"`` (the planner's learned grid).
         num_shards: Number of shards.
         replicas: Replicas per shard (1 = primary only).
         space: The data-space rectangle shared by every shard index.
@@ -87,7 +88,7 @@ class ShardManifest:
             raise ValueError(f"num_shards must be positive, got {self.num_shards}")
         if self.replicas <= 0:
             raise ValueError(f"replicas must be positive, got {self.replicas}")
-        if self.partitioner not in ("hash", "spatial"):
+        if self.partitioner not in ("hash", "spatial", "workload"):
             raise ValueError(f"unknown partitioner kind {self.partitioner!r}")
 
     # ------------------------------------------------------------------

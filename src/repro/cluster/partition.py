@@ -17,7 +17,11 @@ documents across the wire.  Two placement policies are provided:
   by a greedy balance of document counts.  Shards own disjoint regions,
   so the router additionally prunes shards by spatial upper bound.
 
-Either policy serialises its routing state into a
+A third policy lives in :mod:`repro.planner`:
+``WorkloadPartitioner`` (kind ``"workload"``) subclasses the spatial
+grid but *learns* its leaf assignment from a recorded query workload.
+
+Every policy serialises its routing state into a
 :class:`~repro.cluster.manifest.ShardManifest`, and
 :func:`partitioner_from_manifest` restores it, so a router restarted
 from disk routes exactly as the one that built the cluster.
@@ -220,11 +224,16 @@ def partitioner_from_manifest(manifest: ShardManifest):
     """
     if manifest.partitioner == "hash":
         return HashPartitioner(manifest.num_shards, manifest.space)
-    if manifest.partitioner == "spatial":
+    if manifest.partitioner in ("spatial", "workload"):
         leaves = {
             int(cell): int(shard)
             for cell, shard in manifest.params.get("leaves", [])
         }
+        if manifest.partitioner == "workload":
+            # Imported lazily: the planner package builds on this module.
+            from repro.planner.partition import WorkloadPartitioner
+
+            return WorkloadPartitioner(manifest.num_shards, manifest.space, leaves)
         return SpatialGridPartitioner(manifest.num_shards, manifest.space, leaves)
     raise ValueError(f"unknown partitioner kind {manifest.partitioner!r}")
 

@@ -29,6 +29,7 @@ epoch cache.
 
 from __future__ import annotations
 
+import itertools
 import math
 import os
 import threading
@@ -48,7 +49,7 @@ from repro.model.scoring import Ranker
 from repro.service.cache import QueryResultCache
 from repro.service.errors import ServiceClosed
 from repro.service.metrics import MetricsRegistry
-from repro.service.service import QueryService, ServiceConfig
+from repro.service.service import QueryService, ServiceConfig, _ReadWriteLock
 from repro.spatial.geometry import Rect
 
 __all__ = ["ClusterConfig", "ClusterAnswer", "ClusterService"]
@@ -73,6 +74,11 @@ class ClusterConfig:
             shard work for lower latency.
         attempt_timeout: Per-attempt budget in seconds against one
             replica (``None`` = wait for the replica's own deadline).
+        deadline: Whole-query budget in seconds, sliced across the
+            gather waves: every shard attempt is capped by the time
+            remaining, and shards reached after the budget runs out
+            fail their slice (degrading the answer) instead of
+            stretching the query (``None`` = no cluster deadline).
         retry_rounds: Extra passes over the replica set after the first
             all-replicas sweep fails.
         backoff: Base seconds slept before retry round ``n`` (doubles
@@ -89,6 +95,7 @@ class ClusterConfig:
     replicas: int = 1
     scatter_width: int = 2
     attempt_timeout: Optional[float] = None
+    deadline: Optional[float] = None
     retry_rounds: int = 1
     backoff: float = 0.005
     failure_threshold: int = 2
@@ -107,6 +114,10 @@ class ClusterConfig:
             # `not > 0` also rejects NaN, like ServiceConfig.timeout.
             raise ValueError(
                 f"attempt_timeout must be positive, got {self.attempt_timeout}"
+            )
+        if self.deadline is not None and not self.deadline > 0:
+            raise ValueError(
+                f"deadline must be positive, got {self.deadline}"
             )
         _require_non_negative("backoff", self.backoff)
         if self.retry_rounds < 0:
@@ -208,6 +219,14 @@ class ClusterService:
         )
         self._closed = False
         self._close_lock = threading.Lock()
+        # Topology lock: queries and mutations hold the read side, so
+        # rebalance() can swap the partitioner/regions atomically under
+        # the write side without a query racing a half-moved corpus.
+        self._topology = _ReadWriteLock()
+        # Per-shard rotation counters: healthy replicas serve reads
+        # round-robin instead of failover-only, spreading load.
+        self._rotation = [itertools.count() for _ in shards]
+        self._recorder = None  # attach_recorder() hook
         self._started = self._now()
         self._stream_router = None  # lazily built by stream_router()
         self.metrics.gauge("cluster.shards").set(len(shards))
@@ -376,25 +395,31 @@ class ClusterService:
         """
         if self._closed:
             raise ServiceClosed("cluster service is closed")
+        if self._recorder is not None:
+            self._recorder.record(query)
         self.metrics.counter("cluster.queries").inc()
-        epoch = self.cluster_epoch()
-        key = (query, self.ranker.alpha)
-        if self.cache is not None:
-            cached = self.cache.get(key, epoch)
-            if cached is not None:
-                return replace(cached, from_cache=True)
-        started = self._now()
-        answer = self._scatter_gather(query)
-        self.metrics.histogram("cluster.latency_ms").observe(
-            (self._now() - started) * 1000.0
-        )
-        if answer.degraded:
-            self.metrics.counter("cluster.degraded").inc()
-        elif self.cache is not None:
-            # Degraded answers are never cached: the next attempt may
-            # reach a recovered replica and must not be short-circuited.
-            self.cache.put(key, epoch, answer)
-        return answer
+        self._topology.acquire_read()
+        try:
+            epoch = self.cluster_epoch()
+            key = (query, self.ranker.alpha)
+            if self.cache is not None:
+                cached = self.cache.get(key, epoch)
+                if cached is not None:
+                    return replace(cached, from_cache=True)
+            started = self._now()
+            answer = self._scatter_gather(query)
+            self.metrics.histogram("cluster.latency_ms").observe(
+                (self._now() - started) * 1000.0
+            )
+            if answer.degraded:
+                self.metrics.counter("cluster.degraded").inc()
+            elif self.cache is not None:
+                # Degraded answers are never cached: the next attempt may
+                # reach a recovered replica and must not be short-circuited.
+                self.cache.put(key, epoch, answer)
+            return answer
+        finally:
+            self._topology.release_read()
 
     def query_many(self, queries: Sequence[TopKQuery]) -> List[ClusterAnswer]:
         """Answer a batch of queries; answers in input order.
@@ -427,6 +452,11 @@ class ClusterService:
         failed: List[int] = list(dead_upfront)
         queried = 0
         pruned = 0
+        deadline_at = (
+            self._now() + self.config.deadline
+            if self.config.deadline is not None
+            else None
+        )
         i = 0
         while i < len(ranked):
             delta = collector.delta
@@ -446,11 +476,18 @@ class ClusterService:
             if len(wave) == 1 or self._pool is None:
                 # Single-shard waves and simulation mode both run the
                 # wave sequentially (in sim mode, deterministically).
-                outcomes = [self._query_shard(sid, query) for sid in wave]
+                outcomes = [
+                    self._query_shard(sid, query, deadline_at) for sid in wave
+                ]
             else:
-                outcomes = list(
-                    self._pool.map(lambda s: self._query_shard(s, query), wave)
-                )
+                # Concurrent fan-out: every shard of the wave runs on
+                # the scatter pool at once, each attempt capped by its
+                # remaining slice of the cluster deadline.
+                futures = [
+                    self._pool.submit(self._query_shard, sid, query, deadline_at)
+                    for sid in wave
+                ]
+                outcomes = [future.result() for future in futures]
             queried += len(wave)
             for sid, result in zip(wave, outcomes):
                 if result is None:
@@ -517,11 +554,16 @@ class ClusterService:
         return ranked, absent, dead
 
     def _query_shard(
-        self, shard_id: int, query: TopKQuery
+        self,
+        shard_id: int,
+        query: TopKQuery,
+        deadline_at: Optional[float] = None,
     ) -> Optional[List[ScoredDoc]]:
-        """One shard's top-k with failover; ``None`` if every replica
-        failed every round."""
+        """One shard's top-k with round-robin reads and failover;
+        ``None`` if every replica failed every round (or the cluster
+        deadline ran out first)."""
         replicas = self._shards[shard_id]
+        rotation = next(self._rotation[shard_id])
         attempts = 0
         for round_no in range(self.config.retry_rounds + 1):
             if round_no > 0 and self.config.backoff > 0:
@@ -529,14 +571,33 @@ class ClusterService:
             ordered = sorted(
                 replicas, key=lambda r: (not r.healthy, r.replica_id)
             )
+            healthy = sum(1 for r in ordered if r.healthy)
+            all_healthy = healthy == len(replicas)
+            if healthy > 1:
+                # Healthy replicas serve reads round-robin; unhealthy
+                # ones stay at the tail as failover targets only.
+                rot = rotation % healthy
+                ordered = (
+                    ordered[rot:healthy] + ordered[:rot] + ordered[healthy:]
+                )
             for rep in ordered:
                 if not rep.alive:
                     continue
+                timeout = self.config.attempt_timeout
+                if deadline_at is not None:
+                    remaining = deadline_at - self._now()
+                    if remaining <= 0:
+                        # Budget exhausted: fail the slice rather than
+                        # stretch the query past its cluster deadline.
+                        return None
+                    timeout = (
+                        remaining
+                        if timeout is None
+                        else min(timeout, remaining)
+                    )
                 attempts += 1
                 try:
-                    result = rep.search(
-                        query, timeout=self.config.attempt_timeout
-                    )
+                    result = rep.search(query, timeout=timeout)
                 except Exception:
                     rep.mark_failure()
                     self.metrics.counter("cluster.attempt_failures").inc()
@@ -546,9 +607,12 @@ class ClusterService:
                     continue
                 rep.mark_success()
                 self.metrics.counter(f"shard.{shard_id}.queries").inc()
-                if attempts > 1 or rep.replica_id != 0:
-                    # The primary did not serve this: failover absorbed
-                    # a fault without degrading the answer.
+                if attempts > 1 or not all_healthy:
+                    # This read either retried past a failure or ran
+                    # while the shard was short a replica: failover
+                    # absorbed a fault without degrading the answer.
+                    # (A round-robin read on an all-healthy shard is
+                    # normal load spreading, not a failover.)
                     self.metrics.counter("cluster.failovers").inc()
                     self.metrics.counter(f"shard.{shard_id}.failovers").inc()
                 return result
@@ -568,38 +632,137 @@ class ClusterService:
         """
         if self._closed:
             raise ServiceClosed("cluster service is closed")
-        sid = self.partitioner.shard_of(doc)
-        applied = 0
-        for rep in self._shards[sid]:
-            if rep.alive:
-                rep.service.insert(doc)
-                applied += 1
-        if applied == 0:
-            raise ServiceClosed(f"shard {sid} has no live replica to write")
-        self.metrics.counter("cluster.mutations").inc()
-        if self.manifest is not None:
-            self.manifest.shards[sid].num_documents += 1
-        return sid
+        self._topology.acquire_read()
+        try:
+            sid = self.partitioner.shard_of(doc)
+            applied = 0
+            for rep in self._shards[sid]:
+                if rep.alive:
+                    rep.service.insert(doc)
+                    applied += 1
+            if applied == 0:
+                raise ServiceClosed(f"shard {sid} has no live replica to write")
+            self.metrics.counter("cluster.mutations").inc()
+            if self.manifest is not None:
+                self.manifest.shards[sid].num_documents += 1
+            return sid
+        finally:
+            self._topology.release_read()
 
     def delete_document(self, doc) -> bool:
         """Route a delete to the owning shard's live replicas; True when
         the primary-path replica found every tuple."""
         if self._closed:
             raise ServiceClosed("cluster service is closed")
-        sid = self.partitioner.shard_of(doc)
-        found = False
-        applied = 0
-        for rep in self._shards[sid]:
-            if rep.alive:
-                found = rep.service.delete(doc) or found
-                applied += 1
-        if applied == 0:
-            raise ServiceClosed(f"shard {sid} has no live replica to write")
-        self.metrics.counter("cluster.mutations").inc()
-        if found and self.manifest is not None:
-            info = self.manifest.shards[sid]
-            info.num_documents = max(0, info.num_documents - 1)
-        return found
+        self._topology.acquire_read()
+        try:
+            sid = self.partitioner.shard_of(doc)
+            found = False
+            applied = 0
+            for rep in self._shards[sid]:
+                if rep.alive:
+                    found = rep.service.delete(doc) or found
+                    applied += 1
+            if applied == 0:
+                raise ServiceClosed(f"shard {sid} has no live replica to write")
+            self.metrics.counter("cluster.mutations").inc()
+            if found and self.manifest is not None:
+                info = self.manifest.shards[sid]
+                info.num_documents = max(0, info.num_documents - 1)
+            return found
+        finally:
+            self._topology.release_read()
+
+    # ------------------------------------------------------------------
+    # Workload planning (repro.planner)
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Fold every subsequent query into ``recorder`` (a
+        :class:`~repro.planner.QueryLogRecorder`); pass ``None`` to
+        detach.  Recording is O(1) per query and never changes answers,
+        so a production cluster can run with the recorder always on and
+        feed ``repro plan`` / :meth:`rebalance` from live traffic."""
+        self._recorder = recorder
+
+    def rebalance(self, partitioner) -> Dict[str, Any]:
+        """Re-partition the live cluster onto ``partitioner``.
+
+        Runs under the topology write lock: queries and mutations drain
+        first and block for the duration, so no query ever observes a
+        half-moved corpus.  Documents are enumerated from each shard's
+        first live replica (:meth:`~repro.core.index.I3Index.documents`
+        reconstructs them with their exact stored f32 weights), moved
+        by delete+insert on every live replica of the source and target
+        shards (each move bumps the shard epochs, so cached answers
+        stamped with the old epoch sum invalidate), and the partitioner,
+        router regions, and manifest are swapped atomically at the end.
+        Answers are byte-identical before and after — the
+        ``planner-equivalence`` simtest invariant.
+
+        The new partitioner must keep the shard count and data space;
+        returns ``{"moved", "shards", "epoch"}``.
+        """
+        if self._closed:
+            raise ServiceClosed("cluster service is closed")
+        if partitioner.num_shards != self.num_shards:
+            raise ValueError(
+                f"rebalance cannot change the shard count "
+                f"({self.num_shards} -> {partitioner.num_shards})"
+            )
+        if partitioner.space != self.partitioner.space:
+            raise ValueError("rebalance cannot change the data space")
+        self._topology.acquire_write()
+        try:
+            moves: List[Tuple[Any, int, int]] = []
+            for sid in range(self.num_shards):
+                rep = self._first_alive(sid)
+                if rep is None:
+                    if (
+                        self.manifest is not None
+                        and self.manifest.shards[sid].num_documents == 0
+                    ):
+                        continue  # empty and dead: nothing to move
+                    raise ServiceClosed(
+                        f"shard {sid} has no live replica to rebalance from"
+                    )
+                docs = rep.read(
+                    lambda _t, _rep=rep: _rep.index.documents()
+                )
+                for doc in docs:
+                    dst = partitioner.shard_of(doc)
+                    if dst != sid:
+                        moves.append((doc, sid, dst))
+            for doc, src, dst in moves:
+                applied = 0
+                for rep in self._shards[dst]:
+                    if rep.alive:
+                        rep.service.insert(doc)
+                        applied += 1
+                if applied == 0:
+                    raise ServiceClosed(
+                        f"shard {dst} has no live replica to rebalance onto"
+                    )
+                for rep in self._shards[src]:
+                    if rep.alive:
+                        rep.service.delete(doc)
+                if self.manifest is not None:
+                    info = self.manifest.shards[src]
+                    info.num_documents = max(0, info.num_documents - 1)
+                    self.manifest.shards[dst].num_documents += 1
+            self.partitioner = partitioner
+            self._regions = partitioner.shard_regions()
+            if self.manifest is not None:
+                self.manifest.partitioner = partitioner.kind
+                self.manifest.params = partitioner.manifest_params()
+            self.metrics.counter("cluster.rebalances").inc()
+            self.metrics.counter("cluster.docs_moved").inc(len(moves))
+            return {
+                "moved": len(moves),
+                "shards": self.num_shards,
+                "epoch": self.cluster_epoch(),
+            }
+        finally:
+            self._topology.release_write()
 
     # ------------------------------------------------------------------
     # Metrics

@@ -559,6 +559,44 @@ class I3Index:
             semantics = Semantics.OR
         return self._processor.range_search(region, words, semantics)
 
+    def documents(self) -> List[SpatialDocument]:
+        """Reconstruct every stored document, in id order.
+
+        Inverts the textual partition: walks each keyword's cell chain
+        and regroups the stored tuples by document id.  Weights come
+        back exactly as stored (f32-quantised), so reinserting a
+        reconstructed document elsewhere reproduces bit-identical
+        scores — the property ``ClusterService.rebalance`` relies on
+        when it moves documents between shards.
+        """
+        locations: Dict[int, tuple] = {}
+        terms: Dict[int, Dict[str, float]] = {}
+
+        def absorb(word: str, tuples) -> None:
+            for record in tuples:
+                locations[record.doc_id] = (record.x, record.y)
+                terms.setdefault(record.doc_id, {})[word] = record.weight
+
+        def walk(word: str, node_id: int) -> None:
+            node = self.head._nodes[node_id]  # bypass I/O counters
+            for ptr in node.child_ptrs:
+                if ptr is None:
+                    continue
+                if isinstance(ptr, int):
+                    walk(word, ptr)
+                else:
+                    absorb(word, self.data.read_cell(ptr))
+
+        for word, entry in self.lookup.items():
+            if entry.dense:
+                walk(word, entry.target)
+            else:
+                absorb(word, self.data.read_cell(entry.target))
+        return [
+            SpatialDocument(doc_id, x, y, terms[doc_id])
+            for doc_id, (x, y) in sorted(locations.items())
+        ]
+
     # ------------------------------------------------------------------
     # Shard-level score bounds (cluster layer)
     # ------------------------------------------------------------------

@@ -165,3 +165,54 @@ class QueryLogGenerator:
             words = tuple(rng.sample(pool, min(qn, len(pool))))
             queries.append(TopKQuery(x, y, words, k=k, semantics=semantics))
         return QuerySet(name="MIXED", queries=queries)
+
+    # ------------------------------------------------------------------
+    # SELECTIVE
+    # ------------------------------------------------------------------
+    def selective(
+        self,
+        count: int = 100,
+        shapes: int = 40,
+        k: int = 50,
+        semantics: Optional[Semantics] = Semantics.OR,
+        qn_choices: Sequence[int] = (1, 2, 2, 3),
+    ) -> QuerySet:
+        """SEL: a Zipf-repeated log of selective-keyword queries.
+
+        Real query logs differ from the corpus keyword head (which FREQ
+        deliberately stresses) in two ways that matter to a routing
+        *planner*: users repeat a small pool of popular query shapes
+        (Zipf over shapes — the recorder's bread and butter), and the
+        terms they type are *selective*, naming specific content rather
+        than the corpus's most frequent words.  SEL samples ``shapes``
+        distinct query shapes with keywords drawn uniformly from the
+        full vocabulary and locations from the corpus's spatial
+        distribution, then emits ``count`` queries by Zipf-weighted
+        repetition over those shapes.
+
+        ``semantics=None`` alternates AND/OR per shape (each shape keeps
+        one fixed semantics across all its repetitions), modelling a log
+        that mixes conjunctive and disjunctive traffic.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if shapes < 1:
+            raise ValueError(f"shapes must be >= 1, got {shapes}")
+        rng = random.Random(f"{self.seed}/selective")
+        vocab = sorted(self.corpus.vocabulary.words())
+        if not vocab:
+            raise ValueError("corpus has an empty vocabulary")
+        locations = self.corpus.sample_locations(rng, shapes)
+        pool = []
+        for i, (x, y) in enumerate(locations):
+            qn = min(rng.choice(list(qn_choices)), len(vocab))
+            words = tuple(rng.sample(vocab, qn))
+            sem = (
+                semantics
+                if semantics is not None
+                else (Semantics.AND if i % 2 == 0 else Semantics.OR)
+            )
+            pool.append(TopKQuery(x, y, words, k=k, semantics=sem))
+        weights = [1.0 / rank for rank in range(1, len(pool) + 1)]
+        queries = rng.choices(pool, weights=weights, k=count)
+        return QuerySet(name="SEL", queries=queries)

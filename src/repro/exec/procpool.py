@@ -102,6 +102,7 @@ class SnapshotProcessPool:
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers <= 0:
             raise ValueError(f"workers must be positive, got {self.workers}")
+        self._followed: List[Any] = []  # durable stores we auto-refresh on
         self._pool = self._spawn(path)
 
     def _spawn(self, path: str) -> ProcessPoolExecutor:
@@ -163,7 +164,30 @@ class SnapshotProcessPool:
         self.path = path
         old.shutdown(wait=False)
 
+    def follow(self, durable) -> None:
+        """Refresh automatically whenever ``durable`` (a
+        :class:`~repro.core.recovery.DurableIndex`) checkpoints.
+
+        Registers a checkpoint listener that swaps the pool to the
+        freshly written snapshot, so a mutating write path and a
+        process-pool read path stay one checkpoint apart with no manual
+        plumbing.  :meth:`unfollow` (or :meth:`close`) detaches.
+        """
+        self._followed.append(durable)
+        durable.add_checkpoint_listener(self.refresh)
+
+    def unfollow(self, durable) -> None:
+        """Stop refreshing on ``durable``'s checkpoints (no-op if not
+        followed)."""
+        try:
+            self._followed.remove(durable)
+        except ValueError:
+            return
+        durable.remove_checkpoint_listener(self.refresh)
+
     def close(self) -> None:
+        for durable in list(self._followed):
+            self.unfollow(durable)
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "SnapshotProcessPool":

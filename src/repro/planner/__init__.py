@@ -1,0 +1,42 @@
+"""Workload-aware planning: query logs -> heat model -> partitioner.
+
+The cluster layer ships two placement policies (hash, spatial grid),
+but neither looks at the *queries*: hash placement scatters every
+keyword cell across all shards, so the router's bound-based shard
+skipping never fires, and the spatial grid balances documents without
+asking where the traffic lands.  WISK (arXiv:2302.14287) makes the
+case for closing that loop — learn partition boundaries from the query
+workload so most queries touch one or two shards.
+
+This package is that loop, in three stages:
+
+* :class:`QueryLogRecorder` — a bounded-memory sketch of the live
+  query stream (decayed counters over ``(cell, keywords, semantics)``
+  shapes), attachable to ``ClusterService``/``QueryService`` and
+  persisted as a replayable JSON log;
+* :class:`WorkloadModel` — the recorder's log aggregated into cell and
+  keyword heat maps plus weighted representative query shapes;
+* :class:`WorkloadPartitioner` — a cost-based grid partitioner that
+  grows quadtree leaves where data *or heat* concentrates and packs
+  them onto shards to minimise the expected shards touched per query,
+  emitting the same persisted manifest format as the built-in
+  partitioners so ``ClusterService.build``/``recover`` work unchanged.
+
+``repro plan`` drives the pipeline offline; ``ClusterService.rebalance``
+applies a learned partitioner online with byte-identical answers.
+"""
+
+from repro.planner.model import WorkloadModel
+from repro.planner.partition import (
+    WorkloadPartitioner,
+    estimate_shards_touched,
+)
+from repro.planner.recorder import QueryLogRecorder, WorkloadEntry
+
+__all__ = [
+    "QueryLogRecorder",
+    "WorkloadEntry",
+    "WorkloadModel",
+    "WorkloadPartitioner",
+    "estimate_shards_touched",
+]

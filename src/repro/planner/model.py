@@ -1,0 +1,93 @@
+"""Workload model: the query log aggregated into heat maps.
+
+The partitioner does not want raw queries — it wants to know *where*
+traffic lands (cell heat), *which* keywords it asks for (keyword heat),
+and the weighted set of representative query shapes it must keep cheap.
+:class:`WorkloadModel` is that aggregation, computed once from a
+:class:`~repro.planner.recorder.QueryLogRecorder` (live or reloaded
+from its JSON log) or directly from a query sequence for offline
+planning and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+from repro.model.query import TopKQuery
+from repro.planner.recorder import (
+    DEFAULT_CAPACITY,
+    DEFAULT_LEVEL,
+    QueryLogRecorder,
+    WorkloadEntry,
+)
+from repro.spatial.geometry import Rect
+
+__all__ = ["WorkloadModel"]
+
+
+class WorkloadModel:
+    """Aggregated view of a recorded query workload.
+
+    Attributes:
+        space: The data-space rectangle the workload was recorded on.
+        level: Quadtree probe level of the recorded cells.
+        shapes: Weighted representative query shapes, heaviest first.
+        cell_heat: ``{cell: weight}`` — traffic per probe cell.
+        keyword_heat: ``{keyword: weight}`` — traffic per keyword.
+        total_weight: Sum of all shape weights.
+    """
+
+    def __init__(
+        self, space: Rect, level: int, shapes: Sequence[WorkloadEntry]
+    ) -> None:
+        self.space = space
+        self.level = level
+        self.shapes: List[WorkloadEntry] = sorted(
+            shapes, key=lambda e: (-e.weight, e.cell, e.words, e.semantics)
+        )
+        self.cell_heat: Dict[int, float] = {}
+        self.keyword_heat: Dict[str, float] = {}
+        self.total_weight = 0.0
+        for shape in self.shapes:
+            self.total_weight += shape.weight
+            self.cell_heat[shape.cell] = (
+                self.cell_heat.get(shape.cell, 0.0) + shape.weight
+            )
+            for word in shape.words:
+                self.keyword_heat[word] = (
+                    self.keyword_heat.get(word, 0.0) + shape.weight
+                )
+
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def keywords(self) -> FrozenSet[str]:
+        """The keyword universe the workload ever asked for."""
+        return frozenset(self.keyword_heat)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_recorder(cls, recorder: QueryLogRecorder) -> "WorkloadModel":
+        """Aggregate a live (or reloaded) recorder's sketch."""
+        return cls(recorder.space, recorder.level, recorder.snapshot())
+
+    @classmethod
+    def from_log(cls, path: str) -> "WorkloadModel":
+        """Aggregate a query log persisted by
+        :meth:`QueryLogRecorder.save`."""
+        return cls.from_recorder(QueryLogRecorder.load(path))
+
+    @classmethod
+    def from_queries(
+        cls,
+        queries: Iterable[TopKQuery],
+        space: Rect,
+        capacity: int = DEFAULT_CAPACITY,
+        level: int = DEFAULT_LEVEL,
+    ) -> "WorkloadModel":
+        """Aggregate a concrete query sequence (offline planning)."""
+        recorder = QueryLogRecorder(space, capacity=capacity, level=level)
+        recorder.record_many(queries)
+        return cls.from_recorder(recorder)

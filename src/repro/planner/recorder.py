@@ -1,0 +1,254 @@
+"""Bounded-memory query-log recording.
+
+The recorder watches a query stream and keeps a *sketch* of it, not the
+stream itself: queries are folded into shapes keyed by the quadtree
+cell containing the query point (at a fixed probe level), the sorted
+keyword set, and the matching semantics.  Each shape carries a decayed
+hit counter and one representative query, so the log answers "where
+does traffic land, with which keywords, how often" in O(capacity)
+memory no matter how long the service runs.
+
+When the table overflows its capacity every counter is halved and the
+lightest shapes are dropped (the classic lossy-counting compromise:
+heavy hitters survive, one-off shapes age out), which doubles as the
+decay that lets the sketch track workload drift.
+
+The log round-trips through plain JSON (:meth:`QueryLogRecorder.save` /
+:meth:`QueryLogRecorder.load`) so an offline ``repro plan`` run can
+replay exactly what the service saw.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.model.query import TopKQuery
+from repro.spatial.cells import CellGrid
+from repro.spatial.geometry import Rect
+
+__all__ = ["QueryLogRecorder", "WorkloadEntry", "LOG_FORMAT", "LOG_VERSION"]
+
+LOG_FORMAT = "i3-query-log"
+LOG_VERSION = 1
+
+DEFAULT_CAPACITY = 512
+"""Distinct query shapes the sketch retains before lossy compaction."""
+
+DEFAULT_LEVEL = 4
+"""Quadtree probe level for the location key (16x16 grid over the
+space) — coarse enough that nearby queries share a shape, fine enough
+that the partitioner sees where traffic concentrates."""
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadEntry:
+    """One recorded query shape with its decayed weight.
+
+    Attributes:
+        cell: Quadtree cell (at the recorder's probe level) containing
+            the representative query point.
+        words: The sorted query keywords.
+        semantics: ``"and"`` or ``"or"``.
+        weight: Decayed hit count — the shape's share of the traffic.
+        x: Representative query point, horizontal coordinate.
+        y: Representative query point, vertical coordinate.
+        k: Representative result count.
+    """
+
+    cell: int
+    words: Tuple[str, ...]
+    semantics: str
+    weight: float
+    x: float
+    y: float
+    k: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell,
+            "words": list(self.words),
+            "semantics": self.semantics,
+            "weight": self.weight,
+            "x": self.x,
+            "y": self.y,
+            "k": self.k,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadEntry":
+        return cls(
+            cell=int(data["cell"]),
+            words=tuple(str(w) for w in data["words"]),
+            semantics=str(data["semantics"]),
+            weight=float(data["weight"]),
+            x=float(data["x"]),
+            y=float(data["y"]),
+            k=int(data["k"]),
+        )
+
+
+class QueryLogRecorder:
+    """A thread-safe, bounded sketch of a top-k query stream.
+
+    Attributes:
+        space: The data-space rectangle queries are recorded against.
+        capacity: Maximum distinct shapes retained.
+        level: Quadtree probe level of the location key.
+    """
+
+    def __init__(
+        self,
+        space: Rect,
+        capacity: int = DEFAULT_CAPACITY,
+        level: int = DEFAULT_LEVEL,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        self.space = space
+        self.capacity = capacity
+        self.level = level
+        self._grid = CellGrid(space)
+        # shape key -> [weight, x, y, k]; key is (cell, words, semantics)
+        self._shapes: Dict[Tuple[int, Tuple[str, ...], str], List[float]] = {}
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, query: TopKQuery) -> None:
+        """Fold one query into the sketch (O(1) amortised)."""
+        if not self.space.contains_point(query.x, query.y):
+            return  # off-space probes carry no placement signal
+        cell = self._grid.cell_at(query.x, query.y, self.level)
+        key = (cell, tuple(sorted(query.words)), query.semantics.value)
+        with self._lock:
+            self._recorded += 1
+            entry = self._shapes.get(key)
+            if entry is None:
+                self._shapes[key] = [1.0, query.x, query.y, query.k]
+                if len(self._shapes) > self.capacity:
+                    self._compact_locked()
+            else:
+                entry[0] += 1.0
+                entry[1] = query.x
+                entry[2] = query.y
+                entry[3] = query.k
+
+    def record_many(self, queries: Iterable[TopKQuery]) -> None:
+        """Fold a batch of queries into the sketch."""
+        for query in queries:
+            self.record(query)
+
+    def _compact_locked(self) -> None:
+        """Halve every counter and drop the lightest shapes until the
+        sketch fits — heavy hitters survive, one-offs age out."""
+        survivors = {}
+        for key, entry in self._shapes.items():
+            entry[0] /= 2.0
+            if entry[0] >= 1.0:
+                survivors[key] = entry
+        if len(survivors) > self.capacity:
+            ranked = sorted(
+                survivors.items(), key=lambda item: (-item[1][0], item[0])
+            )
+            survivors = dict(ranked[: self.capacity])
+        self._shapes = survivors
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shapes)
+
+    @property
+    def recorded(self) -> int:
+        """Total queries folded in (before any decay)."""
+        with self._lock:
+            return self._recorded
+
+    def snapshot(self) -> List[WorkloadEntry]:
+        """The current shapes, heaviest first (deterministic order)."""
+        with self._lock:
+            items = [
+                WorkloadEntry(
+                    cell=key[0],
+                    words=key[1],
+                    semantics=key[2],
+                    weight=entry[0],
+                    x=entry[1],
+                    y=entry[2],
+                    k=int(entry[3]),
+                )
+                for key, entry in self._shapes.items()
+            ]
+        items.sort(key=lambda e: (-e.weight, e.cell, e.words, e.semantics))
+        return items
+
+    # ------------------------------------------------------------------
+    # Persistence (replayable JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": LOG_FORMAT,
+            "version": LOG_VERSION,
+            "space": [
+                self.space.min_x,
+                self.space.min_y,
+                self.space.max_x,
+                self.space.max_y,
+            ],
+            "capacity": self.capacity,
+            "level": self.level,
+            "recorded": self.recorded,
+            "entries": [entry.to_dict() for entry in self.snapshot()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueryLogRecorder":
+        if data.get("format") != LOG_FORMAT:
+            raise ValueError(f"not a query log (format {data.get('format')!r})")
+        if data.get("version") != LOG_VERSION:
+            raise ValueError(
+                f"unsupported query log version {data.get('version')!r}"
+            )
+        space_values = tuple(float(v) for v in data["space"])
+        if len(space_values) != 4:
+            raise ValueError(f"bad query log space {data['space']!r}")
+        recorder = cls(
+            Rect(*space_values),
+            capacity=int(data.get("capacity", DEFAULT_CAPACITY)),
+            level=int(data.get("level", DEFAULT_LEVEL)),
+        )
+        with recorder._lock:
+            recorder._recorded = int(data.get("recorded", 0))
+            for raw in data.get("entries", []):
+                entry = WorkloadEntry.from_dict(raw)
+                key = (entry.cell, entry.words, entry.semantics)
+                recorder._shapes[key] = [
+                    entry.weight,
+                    entry.x,
+                    entry.y,
+                    float(entry.k),
+                ]
+        return recorder
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> None:
+        """Write the sketch as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "QueryLogRecorder":
+        """Read a sketch previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

@@ -251,6 +251,7 @@ class QueryService:
         )
         self._admission = AdmissionController(self.config.max_pending)
         self._streams = None  # lazily built by streams()
+        self._recorder = None  # attach_recorder() hook (repro.planner)
         self._rwlock = _ReadWriteLock()
         self._queue: "SimpleQueue" = SimpleQueue()
         self._closed = False
@@ -285,6 +286,8 @@ class QueryService:
         """
         if self._closed:
             raise ServiceClosed("service is closed")
+        if self._recorder is not None:
+            self._recorder.record(query)
         self.metrics.counter("queries.submitted").inc()
         admitted = (
             self._admission.acquire() if block else self._admission.try_acquire()
@@ -334,6 +337,14 @@ class QueryService:
             self.metrics.counter("queries.timed_out").inc()
             raise QueryTimeout(self.config.timeout, queued=False) from None
 
+    def attach_recorder(self, recorder) -> None:
+        """Fold every subsequently submitted query into ``recorder`` (a
+        :class:`~repro.planner.QueryLogRecorder`); ``None`` detaches.
+        Recording happens at submission, before admission control, so
+        the workload model sees shed traffic too — placement should
+        follow demand, not just served load."""
+        self._recorder = recorder
+
     def search_batch(self, queries: Sequence[TopKQuery]) -> List[List[Any]]:
         """Execute many queries through the pool; results in input order.
 
@@ -366,6 +377,8 @@ class QueryService:
         if self._closed:
             raise ServiceClosed("service is closed")
         queries = list(queries)
+        if self._recorder is not None:
+            self._recorder.record_many(queries)
         self.metrics.counter("queries.submitted").inc(len(queries))
         self.metrics.counter("batches.submitted").inc()
         if not queries:

@@ -29,6 +29,10 @@ Invariants checked (named for shrinking identity):
   windows where the bounded queue legitimately dropped updates).
 * ``cluster-degraded`` — with a full replica set (even during a
   single-replica outage) no scatter-gather answer is degraded.
+* ``planner-equivalence`` — learning a workload partitioner from the
+  run's own recorded query log and rebalancing the live cluster onto
+  it never changes an answer: probes bracketing the move return
+  byte-identical results, both to each other and to the model.
 * ``net-equivalence`` — queries issued through the simulated network
   tier (real :class:`~repro.net.server.ConnectionCore`, scripted
   connection faults, virtual-time retries) return exactly the model's
@@ -56,7 +60,10 @@ applies every 5th mutation to the index while skipping its WAL append;
 documents never actually leave the query path; ``vector-skew`` drifts
 every vector-engine score by one ulp — invisible to every rounded
 comparison, caught only by the bit-exact ``exec-equivalence``
-differential.
+differential; ``lost-shard-route`` (the one cluster-mode bug) drops
+the best-bound shard from every scatter plan with more than one
+candidate shard, so the documents it owns silently vanish from merged
+answers.
 """
 
 from __future__ import annotations
@@ -70,6 +77,7 @@ from repro.cluster.partition import HashPartitioner
 from repro.cluster.service import ClusterConfig, ClusterService
 from repro.net.sim import SimNetServer, sim_client
 from repro.net.tenants import TenantDirectory
+from repro.planner import QueryLogRecorder, WorkloadModel, WorkloadPartitioner
 from repro.core.index import I3Index
 from repro.core.recovery import DurableIndex
 from repro.model.query import TopKQuery
@@ -106,6 +114,7 @@ BUGS = (
     "dropped-push",
     "stale-slice",
     "vector-skew",
+    "lost-shard-route",
 )
 
 
@@ -180,8 +189,9 @@ def run_seed(
 ) -> SimReport:
     """Generate the seed's trace and execute it."""
     if inject_bug is not None:
-        # The injected bugs live in the single-node stack.
-        mode = "single"
+        # The injected bugs live in the single-node stack — except the
+        # routing bug, which only exists in the cluster's scatter path.
+        mode = "cluster" if inject_bug == "lost-shard-route" else "single"
     return run_trace(generate_trace(seed, steps=steps, mode=mode), inject_bug)
 
 
@@ -375,6 +385,25 @@ class _Simulation:
         )
         self.service = None
         self.streams = None
+        # Every cluster query feeds the workload recorder, so a
+        # rebalance step can learn a partitioner from the trace's own
+        # traffic — the same loop a production cluster runs.
+        self.recorder = QueryLogRecorder(self.space)
+        self.cluster.attach_recorder(self.recorder)
+        if self.bug == "lost-shard-route":
+            cluster = self.cluster
+            real_route = cluster._route
+
+            def lossy_route(query):
+                ranked, absent, dead = real_route(query)
+                if len(ranked) > 1:
+                    # The bug: the best-bound shard is silently dropped
+                    # from the plan, so the documents it owns vanish
+                    # from the merged answer without degrading it.
+                    ranked = ranked[1:]
+                return ranked, absent, dead
+
+            cluster._route = lossy_route
 
     # ------------------------------------------------------------------
     # Driver
@@ -875,6 +904,7 @@ class _Simulation:
             "search_many": self._do_search_many,
             "shard_checkpoint": self._do_shard_checkpoint,
             "outage": self._do_outage,
+            "rebalance": self._do_rebalance,
         }
 
     def _do_cluster_mutation(self, step: Dict) -> None:
@@ -934,6 +964,46 @@ class _Simulation:
                 )
             batch_results.append(got)
         self.events.append({"op": "search_many", "results": batch_results})
+
+    def _do_rebalance(self, step: Dict) -> None:
+        """Learn a workload partitioner from the recorded traffic, swap
+        the live cluster onto it mid-churn, and prove no answer moved
+        (the planner-equivalence invariant)."""
+        probes = [query_from_dict(p) for p in step["probes"]]
+        before = [
+            result_pairs(self.cluster.search(p).results) for p in probes
+        ]
+        docs = []
+        for sid in range(self.cluster.num_shards):
+            rep = self.cluster._first_alive(sid)
+            if rep is None:
+                continue
+            docs.extend(rep.read(lambda _t, _rep=rep: _rep.index.documents()))
+        docs.sort(key=lambda d: d.doc_id)
+        partitioner = WorkloadPartitioner.learn(
+            self.cluster.num_shards,
+            self.space,
+            docs,
+            model=WorkloadModel.from_recorder(self.recorder),
+        )
+        info = self.cluster.rebalance(partitioner)
+        for probe, pre in zip(probes, before):
+            answer = self.cluster.search(probe)
+            if answer.degraded:
+                raise InvariantViolation(
+                    "planner-equivalence",
+                    f"probe {probe.words} degraded after rebalance "
+                    f"(failed shards {answer.failed_shards})",
+                )
+            got = result_pairs(answer.results)
+            expected = self.oracle.topk_pairs(probe)
+            if got != pre or got != expected:
+                raise InvariantViolation(
+                    "planner-equivalence",
+                    f"rebalance moved probe {probe.words}: before {pre}, "
+                    f"after {got}, model says {expected}",
+                )
+        self.events.append({"op": "rebalance", "moved": info["moved"]})
 
     def _do_shard_checkpoint(self, step: Dict) -> None:
         rep = self.cluster.replica(step["shard"], step["replica"])

@@ -3,7 +3,8 @@
 A *trace* is a plain-JSON description of one whole-system run: the
 initial corpus, the subscriber roster, and a step list mixing document
 mutations, AND/OR top-k queries (single and batched), checkpoints,
-crash/recover cycles, replica outages, and subscriber kill/resume.  Every step is
+crash/recover cycles, replica outages, workload-learned rebalances, and
+subscriber kill/resume.  Every step is
 **self-contained** — it carries all the randomness it needs (document
 payloads, crash salts, crash-point offsets) rather than drawing from a
 shared RNG at execution time.  That property is what makes traces
@@ -393,11 +394,22 @@ def _cluster_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
                 "op": "search_many",
                 "queries": [pool.next() for _ in range(rng.randint(2, 4))],
             })
-        elif roll < 0.88:
+        elif roll < 0.86:
             trace_steps.append({
                 "op": "shard_checkpoint",
                 "shard": rng.randrange(shards),
                 "replica": rng.randrange(2),
+            })
+        elif roll < 0.90:
+            # Learn a workload partitioner from the queries recorded so
+            # far and rebalance the live cluster onto it mid-churn.  The
+            # probes bracket the move: answered before and after, they
+            # must stay byte-identical (the planner-equivalence
+            # invariant) — a state probe pins the whole corpus, the pool
+            # queries hit the hot shapes the planner optimised for.
+            trace_steps.append({
+                "op": "rebalance",
+                "probes": [_state_probe(), pool.next(), pool.next()],
             })
         else:
             # Kill one replica, prove failover answers stay exact and

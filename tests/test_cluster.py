@@ -74,8 +74,21 @@ def _random_queries(rng, docs, count):
 def _partitioner(kind, shards, docs):
     if kind == "hash":
         return HashPartitioner(shards, UNIT_SQUARE)
-    return SpatialGridPartitioner.from_documents(
-        shards, UNIT_SQUARE, docs, leaf_capacity=32
+    if kind == "spatial":
+        return SpatialGridPartitioner.from_documents(
+            shards, UNIT_SQUARE, docs, leaf_capacity=32
+        )
+    from repro.planner import WorkloadModel, WorkloadPartitioner
+
+    # Learned from a seeded workload of its own: answers must stay
+    # byte-identical whatever traffic the planner optimised for.
+    queries = _random_queries(random.Random(1234), docs, count=80)
+    return WorkloadPartitioner.learn(
+        shards,
+        UNIT_SQUARE,
+        docs,
+        model=WorkloadModel.from_queries(queries, UNIT_SQUARE),
+        leaf_capacity=32,
     )
 
 
@@ -158,7 +171,7 @@ class TestPartitioners:
 # Manifests
 # ----------------------------------------------------------------------
 class TestManifest:
-    @pytest.mark.parametrize("kind", ["hash", "spatial"])
+    @pytest.mark.parametrize("kind", ["hash", "spatial", "workload"])
     def test_round_trip_restores_identical_routing(self, tmp_path, rng, kind):
         docs = _corpus(rng)
         part = _partitioner(kind, 4, docs)
@@ -200,7 +213,7 @@ class TestManifest:
 # Scatter-gather equivalence (the acceptance property)
 # ----------------------------------------------------------------------
 class TestEquivalence:
-    @pytest.mark.parametrize("kind", ["hash", "spatial"])
+    @pytest.mark.parametrize("kind", ["hash", "spatial", "workload"])
     @pytest.mark.parametrize("shards", [1, 3, 4])
     def test_sharded_topk_matches_single_index(self, rng, kind, shards):
         docs = _corpus(rng)

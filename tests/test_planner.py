@@ -1,0 +1,436 @@
+"""Tests for the workload-aware planner subsystem.
+
+Covers the record -> model -> partition -> rebalance loop:
+
+* the query-log recorder stays within its memory bound, decays lossily,
+  and round-trips through its JSON log byte-exactly;
+* the workload model aggregates shapes into cell/keyword heat;
+* the learned partitioner assigns every document to exactly one shard,
+  is deterministic for a fixed log, and survives the persisted shard
+  manifest unchanged (fuzzed with hypothesis);
+* rebalancing a live cluster onto a learned placement never changes an
+  answer (byte-identity, the planner-equivalence property);
+* the concurrent scatter path: round-robin replica reads spread load,
+  and an exhausted cluster deadline degrades answers instead of
+  corrupting them;
+* a snapshot process pool following a durable index refreshes itself on
+  every checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterService,
+    HashPartitioner,
+    build_manifest,
+    partitioner_from_manifest,
+)
+from repro.cluster.manifest import ShardManifest
+from repro.core.index import I3Index
+from repro.model.document import SpatialDocument
+from repro.model.query import Semantics, TopKQuery
+from repro.model.scoring import Ranker
+from repro.planner import (
+    QueryLogRecorder,
+    WorkloadModel,
+    WorkloadPartitioner,
+    estimate_shards_touched,
+)
+from repro.service import ServiceConfig
+from repro.spatial.geometry import UNIT_SQUARE, Rect
+from repro.storage.records import f32
+
+from tests.helpers import make_documents, results_as_pairs
+
+VOCAB = (
+    "cafe", "sushi", "pizza", "museum", "park", "hotel",
+    "bar", "gym", "library", "cinema",
+)
+
+
+def _query(rng, words=None, semantics=None):
+    words = words if words is not None else tuple(
+        rng.sample(VOCAB, rng.randint(1, 3))
+    )
+    return TopKQuery(
+        round(rng.random(), 6),
+        round(rng.random(), 6),
+        words,
+        k=rng.choice([3, 5, 10]),
+        semantics=semantics
+        if semantics is not None
+        else rng.choice([Semantics.AND, Semantics.OR]),
+    )
+
+
+# ----------------------------------------------------------------------
+# QueryLogRecorder
+# ----------------------------------------------------------------------
+class TestRecorder:
+    def test_folds_repeats_into_one_shape(self):
+        rec = QueryLogRecorder(UNIT_SQUARE)
+        q = TopKQuery(0.5, 0.5, ("cafe",), k=5)
+        for _ in range(10):
+            rec.record(q)
+        assert len(rec) == 1
+        assert rec.recorded == 10
+        assert rec.snapshot()[0].weight == 10.0
+
+    def test_memory_stays_bounded(self, rng):
+        rec = QueryLogRecorder(UNIT_SQUARE, capacity=32)
+        for i in range(5000):
+            rec.record(_query(rng))
+        assert len(rec) <= 32
+        assert rec.recorded == 5000
+
+    def test_compaction_keeps_heavy_hitters(self, rng):
+        rec = QueryLogRecorder(UNIT_SQUARE, capacity=16)
+        hot = TopKQuery(0.25, 0.25, ("cafe", "sushi"), k=5)
+        for _ in range(300):
+            # A heavy hitter keeps recurring through the noise; lossy
+            # compaction must keep it on top while one-offs age out.
+            rec.record(hot)
+            rec.record(_query(rng))
+        top = rec.snapshot()[0]
+        assert top.words == ("cafe", "sushi")
+
+    def test_off_space_queries_are_ignored(self):
+        rec = QueryLogRecorder(Rect(0.0, 0.0, 0.5, 0.5))
+        rec.record(TopKQuery(0.9, 0.9, ("cafe",)))
+        assert len(rec) == 0 and rec.recorded == 0
+
+    def test_json_round_trip_is_exact(self, rng, tmp_path):
+        rec = QueryLogRecorder(UNIT_SQUARE, capacity=64, level=3)
+        rec.record_many(_query(rng) for _ in range(300))
+        path = tmp_path / "qlog.json"
+        rec.save(str(path))
+        loaded = QueryLogRecorder.load(str(path))
+        assert loaded.space == rec.space
+        assert loaded.capacity == rec.capacity
+        assert loaded.level == rec.level
+        assert loaded.recorded == rec.recorded
+        assert loaded.snapshot() == rec.snapshot()
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            QueryLogRecorder.load(str(path))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryLogRecorder(UNIT_SQUARE, capacity=0)
+        with pytest.raises(ValueError):
+            QueryLogRecorder(UNIT_SQUARE, level=-1)
+
+
+# ----------------------------------------------------------------------
+# WorkloadModel
+# ----------------------------------------------------------------------
+class TestModel:
+    def test_aggregates_heat(self):
+        rec = QueryLogRecorder(UNIT_SQUARE)
+        for _ in range(4):
+            rec.record(TopKQuery(0.1, 0.1, ("cafe", "bar")))
+        for _ in range(2):
+            rec.record(TopKQuery(0.9, 0.9, ("bar",)))
+        model = WorkloadModel.from_recorder(rec)
+        assert model.total_weight == 6.0
+        assert model.keyword_heat["bar"] == 6.0
+        assert model.keyword_heat["cafe"] == 4.0
+        assert model.keywords() == {"cafe", "bar"}
+        assert len(model.cell_heat) == 2
+
+    def test_from_log_matches_from_recorder(self, rng, tmp_path):
+        rec = QueryLogRecorder(UNIT_SQUARE)
+        rec.record_many(_query(rng) for _ in range(200))
+        path = tmp_path / "qlog.json"
+        rec.save(str(path))
+        a = WorkloadModel.from_recorder(rec)
+        b = WorkloadModel.from_log(str(path))
+        assert a.shapes == b.shapes
+        assert a.cell_heat == b.cell_heat
+        assert a.keyword_heat == b.keyword_heat
+
+
+# ----------------------------------------------------------------------
+# WorkloadPartitioner (hypothesis: the placement contract)
+# ----------------------------------------------------------------------
+def _docs_strategy():
+    weight = st.floats(0.1, 1.0).map(lambda v: f32(round(v, 3)))
+    terms = st.dictionaries(st.sampled_from(VOCAB), weight, min_size=1, max_size=4)
+    coord = st.floats(0.0, 1.0).map(lambda v: round(v, 6))
+    return st.lists(
+        st.tuples(coord, coord, terms), min_size=1, max_size=60
+    ).map(
+        lambda rows: [
+            SpatialDocument(i, x, y, t) for i, (x, y, t) in enumerate(rows)
+        ]
+    )
+
+
+def _queries_strategy():
+    words = st.lists(
+        st.sampled_from(VOCAB), min_size=1, max_size=3, unique=True
+    ).map(tuple)
+    coord = st.floats(0.0, 1.0).map(lambda v: round(v, 6))
+    semantics = st.sampled_from([Semantics.AND, Semantics.OR])
+    return st.lists(
+        st.builds(
+            TopKQuery, coord, coord, words, st.just(10), semantics
+        ),
+        max_size=40,
+    )
+
+
+class TestPartitionerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        docs=_docs_strategy(),
+        queries=_queries_strategy(),
+        shards=st.integers(1, 5),
+    )
+    def test_total_deterministic_and_manifest_stable(
+        self, docs, queries, shards
+    ):
+        model = WorkloadModel.from_queries(queries, UNIT_SQUARE)
+        part = WorkloadPartitioner.learn(
+            shards, UNIT_SQUARE, docs, model=model, leaf_capacity=8
+        )
+        # Every document lands on exactly one shard, and routing is a
+        # pure function: the same document always routes the same way.
+        for doc in docs:
+            sid = part.shard_of(doc)
+            assert 0 <= sid < shards
+            assert part.shard_of(doc) == sid
+        # Deterministic: learning again from the same inputs gives the
+        # identical leaf assignment.
+        again = WorkloadPartitioner.learn(
+            shards, UNIT_SQUARE, docs, model=model, leaf_capacity=8
+        )
+        assert again.leaves == part.leaves
+        # The persisted manifest restores byte-identical routing.
+        counts = [0] * shards
+        for doc in docs:
+            counts[part.shard_of(doc)] += 1
+        manifest = build_manifest(part, replicas=1, shard_documents=counts)
+        restored = partitioner_from_manifest(
+            ShardManifest.from_dict(manifest.to_dict())
+        )
+        assert restored.kind == "workload"
+        for doc in docs:
+            assert restored.shard_of(doc) == part.shard_of(doc)
+
+    def test_learned_beats_hash_on_skewed_workload(self, rng):
+        docs = make_documents(300, rng, vocab=list(VOCAB), max_words=4)
+        queries = []
+        shapes = [_query(rng) for _ in range(12)]
+        for _ in range(400):
+            queries.append(rng.choice(shapes))
+        model = WorkloadModel.from_queries(queries, UNIT_SQUARE)
+        learned = WorkloadPartitioner.learn(4, UNIT_SQUARE, docs, model=model)
+        hashed = HashPartitioner(4, UNIT_SQUARE)
+        assert estimate_shards_touched(
+            learned, docs, model
+        ) < estimate_shards_touched(hashed, docs, model)
+
+    def test_empty_model_still_places_everything(self, rng):
+        docs = make_documents(100, rng)
+        part = WorkloadPartitioner.learn(3, UNIT_SQUARE, docs)
+        assert sorted({part.shard_of(d) for d in docs}) == [0, 1, 2]
+
+    def test_validation(self, rng):
+        docs = make_documents(10, rng)
+        with pytest.raises(ValueError):
+            WorkloadPartitioner.learn(0, UNIT_SQUARE, docs)
+        with pytest.raises(ValueError):
+            WorkloadPartitioner.learn(2, UNIT_SQUARE, docs, leaf_capacity=0)
+        with pytest.raises(ValueError):
+            WorkloadPartitioner.learn(2, UNIT_SQUARE, docs, max_level=-1)
+
+
+# ----------------------------------------------------------------------
+# Online rebalance
+# ----------------------------------------------------------------------
+def _build_cluster(docs, shards=3, replicas=1, **config_kwargs):
+    config_kwargs.setdefault("shard_config", ServiceConfig(workers=1))
+    config_kwargs.setdefault("metrics_seed", 0)
+    return ClusterService.build(
+        docs,
+        HashPartitioner(shards, UNIT_SQUARE),
+        ClusterConfig(replicas=replicas, **config_kwargs),
+        ranker=Ranker(UNIT_SQUARE),
+    )
+
+
+class TestRebalance:
+    def test_answers_are_byte_identical_across_rebalance(self, rng):
+        docs = make_documents(200, rng, vocab=list(VOCAB), max_words=4)
+        queries = [_query(rng) for _ in range(60)]
+        mono = I3Index(UNIT_SQUARE)
+        mono.bulk_load(docs)
+        ranker = Ranker(UNIT_SQUARE)
+        model = WorkloadModel.from_queries(queries, UNIT_SQUARE)
+        learned = WorkloadPartitioner.learn(3, UNIT_SQUARE, docs, model=model)
+        with _build_cluster(docs, shards=3, replicas=2) as cluster:
+            recorder = QueryLogRecorder(UNIT_SQUARE)
+            cluster.attach_recorder(recorder)
+            before = [
+                results_as_pairs(cluster.search(q).results) for q in queries
+            ]
+            info = cluster.rebalance(learned)
+            assert info["shards"] == 3
+            assert cluster.partitioner is learned
+            assert cluster.manifest.partitioner == "workload"
+            after = []
+            for q in queries:
+                answer = cluster.search(q)
+                assert not answer.degraded
+                after.append(results_as_pairs(answer.results))
+            assert after == before
+            for q, got in zip(queries, after):
+                assert got == results_as_pairs(mono.query(q, ranker))
+            # The recorder saw both passes; a later plan can re-learn.
+            assert recorder.recorded == 2 * len(queries)
+            counters = cluster.metrics_snapshot()["counters"]
+            assert counters["cluster.rebalances"] == 1
+            assert counters["cluster.docs_moved"] == info["moved"]
+
+    def test_mutations_after_rebalance_route_via_new_partitioner(self, rng):
+        docs = make_documents(80, rng, vocab=list(VOCAB))
+        learned = WorkloadPartitioner.learn(3, UNIT_SQUARE, docs)
+        with _build_cluster(docs, shards=3) as cluster:
+            cluster.rebalance(learned)
+            extra = SpatialDocument(9999, 0.42, 0.42, {"cafe": f32(0.5)})
+            assert cluster.insert_document(extra) == learned.shard_of(extra)
+            assert cluster.delete_document(extra)
+
+    def test_manifest_counts_follow_the_moves(self, rng):
+        docs = make_documents(120, rng, vocab=list(VOCAB))
+        learned = WorkloadPartitioner.learn(3, UNIT_SQUARE, docs)
+        with _build_cluster(docs, shards=3) as cluster:
+            cluster.rebalance(learned)
+            counts = [0, 0, 0]
+            for doc in docs:
+                counts[learned.shard_of(doc)] += 1
+            assert [s.num_documents for s in cluster.manifest.shards] == counts
+
+    def test_rejects_shard_count_or_space_changes(self, rng):
+        docs = make_documents(40, rng)
+        with _build_cluster(docs, shards=3) as cluster:
+            with pytest.raises(ValueError):
+                cluster.rebalance(WorkloadPartitioner.learn(4, UNIT_SQUARE, docs))
+            other_space = Rect(0.0, 0.0, 2.0, 2.0)
+            with pytest.raises(ValueError):
+                cluster.rebalance(
+                    WorkloadPartitioner.learn(3, other_space, [])
+                )
+
+
+# ----------------------------------------------------------------------
+# Concurrent scatter-gather: round-robin reads and deadline slices
+# ----------------------------------------------------------------------
+class TestScatterPath:
+    def test_round_robin_spreads_reads_over_healthy_replicas(self, rng):
+        docs = make_documents(100, rng, vocab=list(VOCAB))
+        with _build_cluster(
+            docs, shards=2, replicas=2, cache_capacity=0
+        ) as cluster:
+            for _ in range(40):
+                cluster.search(_query(rng))
+            for sid in range(2):
+                served = [
+                    cluster.replica(sid, rid)
+                    .service.metrics.as_dict()["counters"]
+                    .get("queries.submitted", 0)
+                    for rid in range(2)
+                ]
+                # Both replicas served traffic — not a primary-only path.
+                assert all(count > 0 for count in served), served
+            # Plain round-robin on healthy shards is load spreading, not
+            # failover; the failover counter must stay untouched.
+            counters = cluster.metrics_snapshot()["counters"]
+            assert counters.get("cluster.failovers", 0) == 0
+
+    def test_exhausted_deadline_degrades_instead_of_lying(self, rng):
+        docs = make_documents(60, rng, vocab=list(VOCAB))
+        with _build_cluster(
+            docs, shards=2, cache_capacity=0, deadline=0.5, backoff=0.0
+        ) as cluster:
+            # A clock that jumps one second per reading: the budget is
+            # gone before any shard slice starts.
+            tick = [0.0]
+
+            def jumping_clock():
+                tick[0] += 1.0
+                return tick[0]
+
+            cluster._now = jumping_clock
+            answer = cluster.search(
+                TopKQuery(0.5, 0.5, tuple(VOCAB), semantics=Semantics.OR)
+            )
+            assert answer.degraded
+            assert answer.failed_shards  # slices failed, not silently dropped
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(deadline=0.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(deadline=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-driven snapshot pool refresh
+# ----------------------------------------------------------------------
+class TestCheckpointFollow:
+    def test_pool_refreshes_on_checkpoint(self, rng, tmp_path):
+        from repro.core.recovery import DurableIndex
+        from repro.exec.procpool import SnapshotProcessPool
+
+        docs = make_documents(40, rng, vocab=list(VOCAB))
+        index = I3Index(UNIT_SQUARE, page_size=256)
+        durable = DurableIndex.create(str(tmp_path / "store"), index)
+        durable.bulk_load(docs)
+        durable.checkpoint()
+        probe = TopKQuery(0.42, 0.42, ("cafe",), k=200, semantics=Semantics.OR)
+        with SnapshotProcessPool(durable._snapshot_path, workers=1) as pool:
+            pool.follow(durable)
+            baseline = {d.doc_id for d in pool.search(probe)}
+            assert 9999 not in baseline
+            durable.insert_document(
+                SpatialDocument(9999, 0.42, 0.42, {"cafe": f32(0.9)})
+            )
+            # Not yet checkpointed: the pool still serves the old epoch.
+            assert 9999 not in {d.doc_id for d in pool.search(probe)}
+            durable.checkpoint()
+            assert 9999 in {d.doc_id for d in pool.search(probe)}
+        # close() detached the listener.
+        assert durable._checkpoint_listeners == []
+        durable.close()
+
+    def test_unfollow_stops_refreshing(self, rng, tmp_path):
+        from repro.core.recovery import DurableIndex
+        from repro.exec.procpool import SnapshotProcessPool
+
+        docs = make_documents(20, rng, vocab=list(VOCAB))
+        index = I3Index(UNIT_SQUARE, page_size=256)
+        durable = DurableIndex.create(str(tmp_path / "store"), index)
+        durable.bulk_load(docs)
+        durable.checkpoint()
+        pool = SnapshotProcessPool(durable._snapshot_path, workers=1)
+        try:
+            pool.follow(durable)
+            pool.unfollow(durable)
+            assert durable._checkpoint_listeners == []
+            pool.unfollow(durable)  # no-op, not an error
+        finally:
+            pool.close()
+            durable.close()
