@@ -1396,7 +1396,8 @@ def build_parser() -> argparse.ArgumentParser:
     simtest.add_argument(
         "--inject-bug",
         choices=["lost-wal-record", "stale-cache", "dropped-push",
-                 "stale-slice", "vector-skew", "lost-shard-route"],
+                 "stale-slice", "vector-skew", "lost-shard-route",
+                 "silent-shard-drop", "stuck-scatter"],
         help="canary mode: flip a known-bad code path and assert the "
         "harness catches it (and that the shrunk trace still fails)",
     )

@@ -22,7 +22,14 @@ from repro.cluster.partition import (
     partitioner_from_manifest,
 )
 from repro.cluster.replica import ReplicaFault, ShardReplica
-from repro.cluster.service import ClusterAnswer, ClusterConfig, ClusterService
+from repro.cluster.service import (
+    ClusterAnswer,
+    ClusterConfig,
+    ClusterService,
+    ShardChannel,
+    attempt_budget,
+    slice_remaining,
+)
 
 __all__ = [
     "MANIFEST_FORMAT",
@@ -38,4 +45,7 @@ __all__ = [
     "ClusterAnswer",
     "ClusterConfig",
     "ClusterService",
+    "ShardChannel",
+    "attempt_budget",
+    "slice_remaining",
 ]

@@ -25,6 +25,15 @@ queries by scatter-gather with two correctness-preserving shortcuts:
 Results are cached cluster-wide, stamped with the sum of shard epochs,
 so a mutation on any shard invalidates exactly like the single-index
 epoch cache.
+
+Every shard/replica read — the per-attempt ``search`` and the router's
+``keyword_bounds`` lookup — goes through a :class:`ShardChannel`, the
+shard-transport seam: production uses the default in-process channel,
+and the simulation harness swaps in
+:class:`~repro.net.sim.SimShardChannel` to inject per-shard drops,
+resets, truncated frames, deadline-burning delays, and whole-group
+network partitions under virtual time (see ``docs/testing.md``,
+"Chaos & partition fuzzing").
 """
 
 from __future__ import annotations
@@ -52,7 +61,86 @@ from repro.service.metrics import MetricsRegistry
 from repro.service.service import QueryService, ServiceConfig, _ReadWriteLock
 from repro.spatial.geometry import Rect
 
-__all__ = ["ClusterConfig", "ClusterAnswer", "ClusterService"]
+__all__ = [
+    "ClusterConfig",
+    "ClusterAnswer",
+    "ClusterService",
+    "ShardChannel",
+    "attempt_budget",
+    "slice_remaining",
+]
+
+
+def slice_remaining(deadline_at: Optional[float], now: float) -> Optional[float]:
+    """Seconds left in the cluster deadline (``None`` = unbounded)."""
+    if deadline_at is None:
+        return None
+    return deadline_at - now
+
+
+def attempt_budget(
+    deadline_at: Optional[float],
+    now: float,
+    attempt_timeout: Optional[float],
+) -> Tuple[bool, Optional[float]]:
+    """One shard attempt's slice of the cluster deadline.
+
+    Returns ``(expired, timeout)``: ``expired`` is True once the
+    deadline has passed (the attempt must fail its slice — degrading
+    the answer — instead of stretching the query), otherwise
+    ``timeout`` is the attempt's budget in seconds — the configured
+    per-attempt timeout capped by the time remaining, ``None`` when
+    both are unbounded.  Pure arithmetic, kept free of clocks so the
+    property tests can drive it with arbitrary times (and so the
+    ``stuck-scatter`` canary has a single seam to sabotage).
+
+    Invariants (checked by ``tests/test_scatter_properties.py``):
+    a non-expired slice is always positive, consumed slices can never
+    sum past the deadline, and once expired a slice stays expired for
+    every later ``now``.
+    """
+    remaining = slice_remaining(deadline_at, now)
+    if remaining is None:
+        return False, attempt_timeout
+    if remaining <= 0:
+        return True, 0.0
+    if attempt_timeout is None:
+        return False, remaining
+    return False, min(attempt_timeout, remaining)
+
+
+class ShardChannel:
+    """The shard-transport seam: every replica read goes through here.
+
+    The default implementation is a direct in-process call.  Tests and
+    the simulation harness subclass it to interpose faults between the
+    router/gatherer and the replicas (drop, reset, truncation, delay,
+    partition — see :class:`repro.net.sim.SimShardChannel`) without
+    touching the scatter-gather logic itself.  A channel failure is
+    any raised exception: the gatherer treats it exactly like a dead
+    replica (failover, then a failed shard slice and a degraded
+    answer).
+    """
+
+    def search(
+        self,
+        replica: ShardReplica,
+        query: TopKQuery,
+        timeout: Optional[float],
+    ) -> List[ScoredDoc]:
+        """One top-k attempt against one replica."""
+        return replica.search(query, timeout=timeout)
+
+    def keyword_bounds(
+        self,
+        replica: ShardReplica,
+        words: Tuple[str, ...],
+    ) -> Dict[str, float]:
+        """Per-keyword ``max_s`` upper bounds from one replica (words
+        the shard has never stored are omitted)."""
+        return replica.read(
+            lambda _t, _rep=replica: _rep.index.keyword_bounds(words)
+        )
 
 
 def _require_non_negative(name: str, value: Optional[float]) -> None:
@@ -182,13 +270,16 @@ class ClusterService:
         manifest: Optional[ShardManifest] = None,
         clock: Optional[Any] = None,
         executor: Optional[Any] = None,
+        channel: Optional[ShardChannel] = None,
     ) -> None:
         """``clock``/``executor`` are the deterministic-simulation seams
         (see :mod:`repro.simtest` and the same seams on
         :class:`~repro.service.QueryService`): with an executor the
         scatter pool is replaced by sequential in-wave execution and
-        :meth:`recover` rebuilds replica services in sim mode.  Leave
-        both ``None`` in production."""
+        :meth:`recover` rebuilds replica services in sim mode.
+        ``channel`` is the shard-transport seam (default: direct
+        in-process :class:`ShardChannel`).  Leave all three ``None`` in
+        production."""
         if not shards:
             raise ValueError("a cluster needs at least one shard")
         self.config = config if config is not None else ClusterConfig()
@@ -226,6 +317,14 @@ class ClusterService:
         # Per-shard rotation counters: healthy replicas serve reads
         # round-robin instead of failover-only, spreading load.
         self._rotation = [itertools.count() for _ in shards]
+        self._channel = channel if channel is not None else ShardChannel()
+        # Router bounds cache: per shard, the keyword bounds already
+        # fetched at that shard's current index epoch (absent words are
+        # cached as None so repeat AND queries skip without a read).
+        # Any mutation bumps the shard epoch and orphans the entry;
+        # rebalance() flushes outright.
+        self._bounds_lock = threading.Lock()
+        self._bounds_cache: Dict[int, Tuple[int, Dict[str, Optional[float]]]] = {}
         self._recorder = None  # attach_recorder() hook
         self._started = self._now()
         self._stream_router = None  # lazily built by stream_router()
@@ -246,6 +345,7 @@ class ClusterService:
         clock: Optional[Any] = None,
         executor: Optional[Any] = None,
         fs: Optional[Any] = None,
+        channel: Optional[ShardChannel] = None,
         **index_kwargs,
     ) -> "ClusterService":
         """Partition ``documents`` and build every shard replica.
@@ -304,7 +404,7 @@ class ClusterService:
         )
         return cls(
             shards, partitioner, config, ranker, manifest,
-            clock=clock, executor=executor,
+            clock=clock, executor=executor, channel=channel,
         )
 
     # ------------------------------------------------------------------
@@ -515,7 +615,10 @@ class ClusterService:
         bound sorted bound-descending (ties by shard id), the number of
         shards holding no query keyword (safely skipped — a document
         there can never be a candidate), and shards with no alive
-        replica at routing time (already-degraded).
+        replica at routing time (already-degraded).  A shard whose
+        bounds read fails on the channel joins ``dead`` too: with no
+        admissible bound the router can neither rank nor safely skip
+        it, so the only honest outcome is a degraded answer.
         """
         ranked: List[Tuple[float, int]] = []
         absent = 0
@@ -532,9 +635,19 @@ class ClusterService:
                 else:
                     dead.append(sid)
                 continue
-            bounds = rep.read(
-                lambda _t, _rep=rep: _rep.index.keyword_bounds(query.words)
-            )
+            try:
+                bounds = self._shard_bounds(sid, rep, query.words)
+            except Exception:
+                rep.mark_failure()
+                self.metrics.counter("cluster.route_failures").inc()
+                if (
+                    self.manifest is not None
+                    and self.manifest.shards[sid].num_documents == 0
+                ):
+                    absent += 1  # unreachable but provably empty
+                else:
+                    dead.append(sid)
+                continue
             if not bounds or (need_all and len(bounds) < len(query.words)):
                 # Documents live whole on one shard, so a shard missing
                 # a required keyword cannot hold any AND candidate (nor
@@ -553,6 +666,63 @@ class ClusterService:
         ranked.sort(key=lambda entry: (-entry[0], entry[1]))
         return ranked, absent, dead
 
+    def _shard_bounds(
+        self, sid: int, rep: ShardReplica, words: Tuple[str, ...]
+    ) -> Dict[str, float]:
+        """``keyword_bounds`` for one shard through the epoch-validated
+        router cache.
+
+        A cache entry is ``(epoch, {word: bound-or-None})`` — ``None``
+        records that the shard had never stored the word, so repeat
+        AND routing skips the shard without a read.  The entry is only
+        trusted at the shard's *current* index epoch: any mutation
+        (insert, delete, recovery replay) bumps the epoch and the next
+        route refetches, which is what keeps a cached low bound from
+        wrongly pruning a shard that just gained a high-weight
+        document.  Reads go through the shard channel, so a faulted
+        channel surfaces here (and the failure is never cached).
+        """
+        epoch = rep.index.epoch
+        missing: Tuple[str, ...] = words
+        cached: Dict[str, Optional[float]] = {}
+        with self._bounds_lock:
+            entry = self._bounds_cache.get(sid)
+            if entry is not None and entry[0] == epoch:
+                cached = entry[1]
+                missing = tuple(w for w in words if w not in cached)
+                if not missing:
+                    self.metrics.counter("cluster.bounds_cache_hits").inc()
+                    return {
+                        w: cached[w] for w in words if cached[w] is not None
+                    }
+        # Fetch outside the lock: the channel may block (or fault).
+        fetched = self._channel.keyword_bounds(rep, missing)
+        self.metrics.counter("cluster.bounds_cache_misses").inc()
+        with self._bounds_lock:
+            entry = self._bounds_cache.get(sid)
+            if entry is None or entry[0] != epoch:
+                entry = (epoch, {})
+                self._bounds_cache[sid] = entry
+            store = entry[1]
+            for w in missing:
+                store[w] = fetched.get(w)
+            bounds = {}
+            for w in words:
+                value = store.get(w, cached.get(w))
+                if value is not None:
+                    bounds[w] = value
+        return bounds
+
+    def _attempt_budget(
+        self, deadline_at: Optional[float]
+    ) -> Tuple[bool, Optional[float]]:
+        """This instant's :func:`attempt_budget` — an instance method so
+        fault-injection tests can sabotage the slice arithmetic on one
+        cluster without touching the pure function."""
+        return attempt_budget(
+            deadline_at, self._now(), self.config.attempt_timeout
+        )
+
     def _query_shard(
         self,
         shard_id: int,
@@ -567,7 +737,18 @@ class ClusterService:
         attempts = 0
         for round_no in range(self.config.retry_rounds + 1):
             if round_no > 0 and self.config.backoff > 0:
-                self._sleep(self.config.backoff * (2 ** (round_no - 1)))
+                # Check the budget BEFORE sleeping and cap the pause by
+                # the time remaining: an expired slice must fail now,
+                # not after one more nap past the cluster deadline
+                # (found by the scatter-no-hang simtest invariant).
+                expired, _ = self._attempt_budget(deadline_at)
+                if expired:
+                    return None
+                pause = self.config.backoff * (2 ** (round_no - 1))
+                remaining = slice_remaining(deadline_at, self._now())
+                if remaining is not None:
+                    pause = min(pause, remaining)
+                self._sleep(pause)
             ordered = sorted(
                 replicas, key=lambda r: (not r.healthy, r.replica_id)
             )
@@ -583,21 +764,14 @@ class ClusterService:
             for rep in ordered:
                 if not rep.alive:
                     continue
-                timeout = self.config.attempt_timeout
-                if deadline_at is not None:
-                    remaining = deadline_at - self._now()
-                    if remaining <= 0:
-                        # Budget exhausted: fail the slice rather than
-                        # stretch the query past its cluster deadline.
-                        return None
-                    timeout = (
-                        remaining
-                        if timeout is None
-                        else min(timeout, remaining)
-                    )
+                expired, timeout = self._attempt_budget(deadline_at)
+                if expired:
+                    # Budget exhausted: fail the slice rather than
+                    # stretch the query past its cluster deadline.
+                    return None
                 attempts += 1
                 try:
-                    result = rep.search(query, timeout=timeout)
+                    result = self._channel.search(rep, query, timeout)
                 except Exception:
                     rep.mark_failure()
                     self.metrics.counter("cluster.attempt_failures").inc()
@@ -751,6 +925,11 @@ class ClusterService:
                     self.manifest.shards[dst].num_documents += 1
             self.partitioner = partitioner
             self._regions = partitioner.shard_regions()
+            with self._bounds_lock:
+                # Epoch validation would catch moved shards on its own,
+                # but a rebalance that moves nothing still swaps the
+                # routing geometry — flush outright.
+                self._bounds_cache.clear()
             if self.manifest is not None:
                 self.manifest.partitioner = partitioner.kind
                 self.manifest.params = partitioner.manifest_params()

@@ -28,12 +28,31 @@ Every part of a run is a pure function of the trace: the client sleeps
 on the :class:`~repro.simtest.clock.SimClock`, the server stamps
 latencies from the same clock, and the transport introduces no
 randomness of its own.
+
+The same philosophy covers the cluster's shard fan-out:
+:class:`SimShardChannel` plugs into the
+:class:`~repro.cluster.service.ShardChannel` transport seam and
+afflicts individual scatter-gather attempts — per-replica scripted
+faults plus whole-shard network partitions — so the simtest harness
+can fuzz degraded answers and deadline slices under virtual time.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.cluster.replica import ReplicaFault, ShardReplica
+from repro.cluster.service import ShardChannel
 from repro.net.client import Client
 from repro.net.errors import ConnectionLost
 from repro.net.protocol import MAX_FRAME_BYTES, FrameAssembler, encode_frame
@@ -42,9 +61,18 @@ from repro.net.tenants import TenantDirectory
 from repro.service.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # imported lazily: repro.simtest.harness imports us
+    from repro.model.query import TopKQuery
+    from repro.model.results import ScoredDoc
     from repro.simtest.clock import SimClock
 
-__all__ = ["FAULTS", "SimNetServer", "SimTransport", "sim_client"]
+__all__ = [
+    "FAULTS",
+    "SHARD_FAULTS",
+    "SimNetServer",
+    "SimShardChannel",
+    "SimTransport",
+    "sim_client",
+]
 
 FAULTS = ("ok", "drop", "reset_send", "reset_recv", "truncate_response", "delay")
 
@@ -179,3 +207,122 @@ def sim_client(
         sleeper=clk.sleep,
         **kwargs,
     )
+
+
+# Shard-level fault vocabulary (one per scatter attempt, consumed in
+# order; an exhausted script means healthy attempts forever).  A
+# flapping replica is a script that alternates, e.g.
+# ``["reset", "ok", "reset"]``; a full network partition of a shard
+# group is the ``partition`` list of a plan — every attempt against
+# those shards fails unconditionally, scripts notwithstanding.
+SHARD_FAULTS = ("ok", "drop", "reset", "truncate", "delay")
+
+_SHARD_FAULT_REASONS = {
+    "drop": "chaos: connect refused",
+    "reset": "chaos: connection reset mid-request",
+    # At this seam a torn frame is already *detected* (the byte-level
+    # proof that truncation surfaces as ConnectionLost, never a short
+    # result list, lives in SimTransport above): the channel models
+    # the aftermath — the attempt fails and fails over.
+    "truncate": "chaos: response truncated mid-frame",
+}
+
+# Virtual seconds an unbounded stalled attempt burns before the channel
+# gives up on its behalf.  Attempts carrying a deadline slice stall
+# exactly min(slice, stall) — the client-side timer fires at the slice
+# boundary, which is what keeps scatter-no-hang meaningful.
+_SHARD_STALL_S = 30.0
+
+
+class SimShardChannel(ShardChannel):
+    """Scripted fault injection on the cluster's shard-transport seam.
+
+    One *plan* — installed per trace step with :meth:`set_plan`,
+    removed with :meth:`clear_plan` so every step stays self-contained
+    and ddmin-shrinkable — holds two ingredients:
+
+    - ``scripts``: per-replica fault scripts keyed ``"<shard>:<rid>"``,
+      consumed one entry per scatter attempt (vocabulary in
+      :data:`SHARD_FAULTS`; exhausted script = healthy).
+    - ``partitioned``: shard ids cut off entirely — every search
+      attempt *and* every router bounds read against them raises, on
+      every replica, modelling a network partition of the shard group.
+
+    ``delay`` advances the :class:`SimClock` to the end of the
+    attempt's deadline slice (or :data:`_SHARD_STALL_S` when the
+    attempt is unbounded) and then raises — a reply that missed its
+    slice.  All other faults are instantaneous.
+    """
+
+    def __init__(self, clock: "SimClock", stall: float = _SHARD_STALL_S) -> None:
+        self._clock = clock
+        self._stall = stall
+        self._scripts: Dict[str, List[str]] = {}
+        self._partitioned: frozenset = frozenset()
+        self.faults_injected = 0
+
+    def set_plan(
+        self,
+        scripts: Optional[Mapping[str, Sequence[str]]] = None,
+        partitioned: Iterable[int] = (),
+    ) -> None:
+        """Arm one step's fault plan (replacing any previous plan)."""
+        self._scripts = {}
+        for key, script in (scripts or {}).items():
+            for fault in script:
+                if fault not in SHARD_FAULTS:
+                    raise ValueError(
+                        f"unknown shard fault {fault!r}; "
+                        f"choose from {SHARD_FAULTS}"
+                    )
+            self._scripts[str(key)] = list(script)
+        self._partitioned = frozenset(int(sid) for sid in partitioned)
+
+    def clear_plan(self) -> None:
+        """Disarm: back to a healthy, direct channel."""
+        self._scripts = {}
+        self._partitioned = frozenset()
+
+    def _next_fault(self, replica: ShardReplica) -> str:
+        script = self._scripts.get(f"{replica.shard_id}:{replica.replica_id}")
+        if script:
+            return script.pop(0)
+        return "ok"
+
+    def search(
+        self,
+        replica: ShardReplica,
+        query: "TopKQuery",
+        timeout: Optional[float],
+    ) -> List["ScoredDoc"]:
+        sid, rid = replica.shard_id, replica.replica_id
+        if sid in self._partitioned:
+            self.faults_injected += 1
+            raise ReplicaFault(sid, rid, "chaos: network partition")
+        fault = self._next_fault(replica)
+        if fault == "ok":
+            return super().search(replica, query, timeout)
+        self.faults_injected += 1
+        if fault == "delay":
+            stall = (
+                self._stall if timeout is None else min(timeout, self._stall)
+            )
+            self._clock.advance(stall)
+            raise ReplicaFault(
+                sid, rid, f"chaos: reply missed its {stall:g}s slice"
+            )
+        raise ReplicaFault(sid, rid, _SHARD_FAULT_REASONS[fault])
+
+    def keyword_bounds(
+        self,
+        replica: ShardReplica,
+        words: Tuple[str, ...],
+    ) -> Dict[str, float]:
+        if replica.shard_id in self._partitioned:
+            self.faults_injected += 1
+            raise ReplicaFault(
+                replica.shard_id,
+                replica.replica_id,
+                "chaos: network partition (bounds read)",
+            )
+        return super().keyword_bounds(replica, words)

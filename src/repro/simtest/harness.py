@@ -29,6 +29,16 @@ Invariants checked (named for shrinking identity):
   windows where the bounded queue legitimately dropped updates).
 * ``cluster-degraded`` — with a full replica set (even during a
   single-replica outage) no scatter-gather answer is degraded.
+* ``degraded-correctness`` — under injected shard faults
+  (``chaos_search`` steps through the
+  :class:`~repro.net.sim.SimShardChannel` transport seam), an answer
+  flagged degraded must be the exact top-k over the shards that
+  actually responded (the model restricted to non-failed shards), and
+  an answer *not* flagged degraded must equal the full model — a
+  failed shard can never silently vanish from a "complete" answer.
+* ``scatter-no-hang`` — every scatter-gather completes within the
+  cluster deadline on virtual time, even when every shard stalls: a
+  stalled attempt burns its deadline slice, never more.
 * ``planner-equivalence`` — learning a workload partitioner from the
   run's own recorded query log and rebalancing the live cluster onto
   it never changes an answer: probes bracketing the move return
@@ -60,22 +70,27 @@ applies every 5th mutation to the index while skipping its WAL append;
 documents never actually leave the query path; ``vector-skew`` drifts
 every vector-engine score by one ulp — invisible to every rounded
 comparison, caught only by the bit-exact ``exec-equivalence``
-differential; ``lost-shard-route`` (the one cluster-mode bug) drops
-the best-bound shard from every scatter plan with more than one
-candidate shard, so the documents it owns silently vanish from merged
-answers.
+differential; ``lost-shard-route`` drops the best-bound shard from
+every scatter plan with more than one candidate shard, so the
+documents it owns silently vanish from merged answers;
+``silent-shard-drop`` strips the degraded flag (and the failed-shard
+ids) off any answer that lost shards, passing a partial answer off as
+complete — caught by ``degraded-correctness`` comparing it to the
+full model; ``stuck-scatter`` makes the deadline-slice arithmetic
+never expire, so a stalled shard burns unbounded virtual time —
+caught by ``scatter-no-hang``.  The last three are cluster-mode bugs.
 """
 
 from __future__ import annotations
 
 import random
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.partition import HashPartitioner
 from repro.cluster.service import ClusterConfig, ClusterService
-from repro.net.sim import SimNetServer, sim_client
+from repro.net.sim import SimNetServer, SimShardChannel, sim_client
 from repro.net.tenants import TenantDirectory
 from repro.planner import QueryLogRecorder, WorkloadModel, WorkloadPartitioner
 from repro.core.index import I3Index
@@ -115,6 +130,14 @@ BUGS = (
     "stale-slice",
     "vector-skew",
     "lost-shard-route",
+    "silent-shard-drop",
+    "stuck-scatter",
+)
+
+# Bugs that only exist in the cluster's scatter path: their canary runs
+# force cluster mode so every seed exercises the buggy code.
+_CLUSTER_BUGS = frozenset(
+    {"lost-shard-route", "silent-shard-drop", "stuck-scatter"}
 )
 
 
@@ -190,8 +213,8 @@ def run_seed(
     """Generate the seed's trace and execute it."""
     if inject_bug is not None:
         # The injected bugs live in the single-node stack — except the
-        # routing bug, which only exists in the cluster's scatter path.
-        mode = "cluster" if inject_bug == "lost-shard-route" else "single"
+        # routing/scatter bugs, which only exist in the cluster path.
+        mode = "cluster" if inject_bug in _CLUSTER_BUGS else "single"
     return run_trace(generate_trace(seed, steps=steps, mode=mode), inject_bug)
 
 
@@ -361,6 +384,13 @@ class _Simulation:
     def _setup_cluster(self, initial) -> None:
         cfg = self.trace["config"]
         partitioner = HashPartitioner(cfg["shards"], self.space)
+        # Every shard read goes through the scripted chaos channel;
+        # outside chaos_search steps its plan is empty, so it is a
+        # transparent pass-through.  Healthy attempts cost zero virtual
+        # time, so the deadline and (non-zero) backoff only ever tick
+        # under injected faults — which is exactly when scatter-no-hang
+        # needs them to be load-bearing.
+        self.channel = SimShardChannel(self.clock)
         self.cluster = ClusterService.build(
             initial,
             partitioner,
@@ -368,7 +398,8 @@ class _Simulation:
                 replicas=cfg["replicas"],
                 scatter_width=2,
                 retry_rounds=1,
-                backoff=0.0,
+                backoff=0.001,
+                deadline=cfg.get("deadline"),
                 failure_threshold=2,
                 cache_capacity=64,
                 shard_config=ServiceConfig(
@@ -381,6 +412,7 @@ class _Simulation:
             clock=self.clock,
             executor=self.sched,
             fs=self.fs,
+            channel=self.channel,
             page_size=256,
         )
         self.service = None
@@ -404,6 +436,36 @@ class _Simulation:
                 return ranked, absent, dead
 
             cluster._route = lossy_route
+        if self.bug == "silent-shard-drop":
+            cluster = self.cluster
+            real_scatter = cluster._scatter_gather
+
+            def lying_scatter(query):
+                answer = real_scatter(query)
+                if answer.failed_shards:
+                    # The bug: shards that contributed nothing are
+                    # scrubbed from the answer's provenance, so a
+                    # partial answer is passed off as complete (and
+                    # cached!).  degraded-correctness convicts it by
+                    # comparing the "complete" answer to the full
+                    # model.
+                    return replace(
+                        answer, degraded=False, failed_shards=()
+                    )
+                return answer
+
+            cluster._scatter_gather = lying_scatter
+        if self.bug == "stuck-scatter":
+            cluster = self.cluster
+
+            def stuck_budget(deadline_at):
+                # The bug: the deadline slice never expires and never
+                # caps an attempt, so a stalled shard burns unbounded
+                # virtual time.  scatter-no-hang convicts the first
+                # chaos delay that blows past the cluster deadline.
+                return False, cluster.config.attempt_timeout
+
+            cluster._attempt_budget = stuck_budget
 
     # ------------------------------------------------------------------
     # Driver
@@ -901,6 +963,7 @@ class _Simulation:
             "insert": self._do_cluster_mutation,
             "delete": self._do_cluster_mutation,
             "search": self._do_search,
+            "chaos_search": self._do_chaos_search,
             "search_many": self._do_search_many,
             "shard_checkpoint": self._do_shard_checkpoint,
             "outage": self._do_outage,
@@ -942,6 +1005,58 @@ class _Simulation:
 
     def _do_search(self, step: Dict) -> None:
         self._search_and_check(step["query"], "search")
+
+    def _do_chaos_search(self, step: Dict) -> None:
+        """One search under an armed shard-fault plan, checked against
+        the degraded-correctness and scatter-no-hang invariants."""
+        query = query_from_dict(step["query"])
+        plan = step.get("plan", {})
+        self.channel.set_plan(
+            plan.get("scripts"), plan.get("partition", ())
+        )
+        started = self.clock()
+        try:
+            answer = self.cluster.search(query)
+        finally:
+            self.channel.clear_plan()
+        elapsed = self.clock() - started
+        deadline = self.cluster.config.deadline
+        if deadline is not None and elapsed > deadline + 1e-6:
+            raise InvariantViolation(
+                "scatter-no-hang",
+                f"chaos search (plan {plan}) took {elapsed:.6f} virtual "
+                f"seconds against a {deadline}s cluster deadline",
+            )
+        got = result_pairs(answer.results)
+        if answer.degraded:
+            failed = set(answer.failed_shards)
+            shard_of = self.cluster.partitioner.shard_of
+            expected = self.oracle.topk_pairs_restricted(
+                query, lambda doc: shard_of(doc) not in failed
+            )
+            if got != expected:
+                raise InvariantViolation(
+                    "degraded-correctness",
+                    f"degraded answer (failed shards {sorted(failed)}, "
+                    f"plan {plan}) returned {got}, the model restricted "
+                    f"to responsive shards says {expected}",
+                )
+        else:
+            expected = self.oracle.topk_pairs(query)
+            if got != expected:
+                raise InvariantViolation(
+                    "degraded-correctness",
+                    f"non-degraded answer under shard faults (plan {plan}) "
+                    f"returned {got}, the full model says {expected} — a "
+                    f"failed shard was not reflected in the degraded flag",
+                )
+        self.events.append({
+            "op": "chaos_search",
+            "results": got,
+            "degraded": answer.degraded,
+            "failed": sorted(answer.failed_shards),
+            "elapsed": round(elapsed, 9),
+        })
 
     def _do_search_many(self, step: Dict) -> None:
         queries = [query_from_dict(q) for q in step["queries"]]

@@ -39,9 +39,10 @@ class InvariantViolation(AssertionError):
         invariant: Stable checker name (``topk-equivalence``,
             ``prefix-durability``, ``epoch-monotonicity``,
             ``stream-delivery``, ``standing-query``,
-            ``cluster-degraded``, ``unhandled-exception``) — failure
-            identity for shrinking: a shrunk trace must fail the *same*
-            checker.
+            ``cluster-degraded``, ``degraded-correctness``,
+            ``scatter-no-hang``, ``unhandled-exception``, ...) —
+            failure identity for shrinking: a shrunk trace must fail
+            the *same* checker.
         detail: Human-readable specifics.
     """
 
@@ -110,6 +111,12 @@ class ModelOracle:
     def get(self, doc_id: int) -> Optional[SpatialDocument]:
         return self.naive.get(doc_id)
 
+    def documents(self) -> List[SpatialDocument]:
+        """The current live document set, id-ordered."""
+        return [
+            self.naive.get(doc_id) for doc_id in sorted(self.naive._docs)
+        ]
+
     def __len__(self) -> int:
         return len(self.naive)
 
@@ -122,6 +129,30 @@ class ModelOracle:
 
     def topk_pairs(self, query: TopKQuery, ranker: Optional[Ranker] = None):
         return result_pairs(self.topk(query, ranker))
+
+    def topk_pairs_restricted(
+        self,
+        query: TopKQuery,
+        keep,
+        ranker: Optional[Ranker] = None,
+    ) -> List[Tuple[int, float]]:
+        """The exact top-k over only the documents ``keep(doc)`` admits.
+
+        The reference for the ``degraded-correctness`` invariant: a
+        degraded scatter-gather answer must equal the model restricted
+        to the shards that actually responded (``keep`` filters by
+        shard ownership), because bound-based skipping is conservative
+        under failures — a pruned shard's bound was below the collector
+        threshold built from *surviving* results, so it could not have
+        contributed to the restricted top-k either.
+        """
+        naive = NaiveScanIndex()
+        for doc in self.documents():
+            if keep(doc):
+                naive.insert_document(doc)
+        return result_pairs(
+            naive.query(query, ranker if ranker is not None else self.ranker)
+        )
 
     # ------------------------------------------------------------------
     # Durability reference

@@ -11,8 +11,11 @@ produce byte-identical hashes — that equality is the determinism check.
 it repeatedly deletes chunks (halving the chunk size down to single
 steps) and keeps each deletion iff the replay still fails **the same
 invariant**.  Because steps are self-contained (they carry their own
-payloads and salts), deleting one never changes the meaning of the
-rest, so greedy removal converges to a small, still-failing repro.
+payloads, salts, connection-fault scripts, and shard-fault plans —
+a ``chaos_search`` step's plan is armed before its query and disarmed
+after, never leaking into neighbours), deleting one never changes the
+meaning of the rest, so greedy removal converges to a small,
+still-failing repro.
 """
 
 from __future__ import annotations

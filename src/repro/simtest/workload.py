@@ -3,8 +3,9 @@
 A *trace* is a plain-JSON description of one whole-system run: the
 initial corpus, the subscriber roster, and a step list mixing document
 mutations, AND/OR top-k queries (single and batched), checkpoints,
-crash/recover cycles, replica outages, workload-learned rebalances, and
-subscriber kill/resume.  Every step is
+crash/recover cycles, replica outages, workload-learned rebalances,
+shard-fault chaos searches (scripted scatter-attempt faults and shard
+partitions), and subscriber kill/resume.  Every step is
 **self-contained** — it carries all the randomness it needs (document
 payloads, crash salts, crash-point offsets) rather than drawing from a
 shared RNG at execution time.  That property is what makes traces
@@ -375,6 +376,48 @@ def _cluster_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
     live: Set[int] = {d["id"] for d in initial}
     pool = _QueryPool(rng, reuse=0.4)
 
+    def chaos_plan() -> Dict:
+        """The shard-fault plan of one chaos_search step.
+
+        Self-contained like ``net_faults`` one tier up: all randomness
+        is drawn now and embedded, so replay and shrinking never touch
+        a live RNG.  ``scripts`` afflict individual scatter attempts
+        (``"<shard>:<replica>"`` → consumed fault list, vocabulary in
+        :data:`repro.net.sim.SHARD_FAULTS`); ``partition`` cuts whole
+        shards off for the step.  A "blackout" script faults every
+        attempt the gatherer can make (replicas × retry rounds), so
+        degraded answers are exercised even without a partition; "flap"
+        alternates failure and health within the step.
+        """
+        scripts: Dict[str, List[str]] = {}
+        partitioned: List[int] = []
+        if rng.random() < 0.35:
+            partitioned = sorted(
+                rng.sample(range(shards), rng.choice([1, 1, 2]))
+            )
+        reachable = [sid for sid in range(shards) if sid not in partitioned]
+        low = 0 if partitioned else 1
+        n_targets = rng.randint(low, min(2, len(reachable)))
+        for sid in sorted(rng.sample(reachable, n_targets)):
+            style = rng.choice(
+                ["reset", "drop", "truncate", "delay",
+                 "delay", "flap", "blackout"]
+            )
+            for rid in range(2):
+                if style == "flap":
+                    scripts[f"{sid}:{rid}"] = ["reset", "ok", "reset"]
+                elif style == "blackout":
+                    scripts[f"{sid}:{rid}"] = (
+                        [rng.choice(["reset", "drop", "truncate"])] * 2
+                    )
+                elif style == "delay":
+                    scripts[f"{sid}:{rid}"] = ["delay"] * rng.choice([1, 2])
+                elif rid == 0 or rng.random() < 0.5:
+                    # Single-replica faults: failover should absorb
+                    # them without degrading the answer.
+                    scripts[f"{sid}:{rid}"] = [style] * rng.randint(1, 2)
+        return {"scripts": scripts, "partition": partitioned}
+
     trace_steps: List[Dict] = []
     while len(trace_steps) < n_steps:
         roll = rng.random()
@@ -387,8 +430,14 @@ def _cluster_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
             doc_id = rng.choice(sorted(live))
             live.discard(doc_id)
             trace_steps.append({"op": "delete", "doc_id": doc_id})
-        elif roll < 0.72:
+        elif roll < 0.58:
             trace_steps.append({"op": "search", "query": pool.next()})
+        elif roll < 0.72:
+            trace_steps.append({
+                "op": "chaos_search",
+                "query": pool.next(),
+                "plan": chaos_plan(),
+            })
         elif roll < 0.80:
             trace_steps.append({
                 "op": "search_many",
@@ -431,6 +480,11 @@ def _cluster_trace(seed: int, rng: random.Random, steps: Optional[int]) -> Dict:
             "initial_docs": initial,
             "shards": shards,
             "replicas": 2,
+            # Whole-query budget in virtual seconds: healthy attempts
+            # cost zero virtual time, so only chaos delays and retry
+            # backoff consume it — scatter-no-hang checks every search
+            # finishes inside it.
+            "deadline": 5.0,
         },
         "steps": trace_steps,
     }

@@ -431,6 +431,62 @@ class TestClusterCache:
             assert results_as_pairs(hit.results) == results_as_pairs(first.results)
 
 
+class TestBoundsCache:
+    """The router's per-shard keyword_bounds cache: repeat routing must
+    reuse cached bounds, and any epoch bump or rebalance must
+    invalidate them (a stale low bound could wrongly prune a shard)."""
+
+    def test_repeat_routing_reuses_cached_bounds(self, rng):
+        docs = _corpus(rng)
+        query = TopKQuery(0.4, 0.4, ("pizza", "cafe"), k=5,
+                          semantics=Semantics.OR)
+        # cache_capacity=0 disables the *result* cache, so every search
+        # re-routes — isolating the bounds cache under test.
+        with _cluster(docs, shards=3, cache_capacity=0) as cluster:
+            first = cluster.search(query)
+            counters = cluster.metrics_snapshot()["counters"]
+            misses = counters["cluster.bounds_cache_misses"]
+            assert misses > 0
+            assert "cluster.bounds_cache_hits" not in counters
+            second = cluster.search(query)
+            counters = cluster.metrics_snapshot()["counters"]
+            assert counters["cluster.bounds_cache_misses"] == misses
+            assert counters["cluster.bounds_cache_hits"] > 0
+            assert results_as_pairs(second.results) == results_as_pairs(
+                first.results
+            )
+
+    def test_epoch_bump_invalidates_cached_bounds(self, rng):
+        """The regression the cache must never introduce: a word cached
+        as absent (or low-bounded) on a shard must be refetched after a
+        mutation bumps that shard's epoch — otherwise the shard is
+        wrongly skipped and its new best document silently vanishes."""
+        docs = _corpus(rng)
+        word = "zzz-unique"  # in no generated document
+        query = TopKQuery(0.5, 0.5, (word,), k=3, semantics=Semantics.OR)
+        with _cluster(docs, shards=3, cache_capacity=0) as cluster:
+            empty = cluster.search(query)
+            assert empty.results == []
+            new_doc = SpatialDocument(8888, 0.5, 0.5, {word: 0.97})
+            cluster.insert_document(new_doc)
+            found = cluster.search(query)
+            assert [d for d, _ in results_as_pairs(found.results)] == [8888]
+
+    def test_rebalance_flushes_bounds_cache(self, rng):
+        docs = _corpus(rng)
+        query = TopKQuery(0.4, 0.4, ("pizza",), k=5, semantics=Semantics.OR)
+        with _cluster(docs, shards=3, cache_capacity=0) as cluster:
+            cluster.search(query)
+            assert cluster._bounds_cache  # populated by routing
+            cluster.rebalance(_partitioner("spatial", 3, docs))
+            assert cluster._bounds_cache == {}
+            # And routing after the flush still answers identically.
+            again = cluster.search(query)
+            assert results_as_pairs(again.results) == results_as_pairs(
+                cluster.search(query).results
+            )
+
+
 # ----------------------------------------------------------------------
 # Metrics and configuration
 # ----------------------------------------------------------------------

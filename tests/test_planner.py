@@ -434,3 +434,32 @@ class TestCheckpointFollow:
         finally:
             pool.close()
             durable.close()
+
+    def test_repeated_follow_cycles_do_not_leak_listeners(self, rng, tmp_path):
+        """Regression: each build/follow/close cycle must leave the
+        durable index with zero registered checkpoint listeners — a
+        leaked listener would keep a closed pool alive and refresh it
+        against a shut-down executor on the next checkpoint."""
+        from repro.core.recovery import DurableIndex
+        from repro.exec.procpool import SnapshotProcessPool
+
+        docs = make_documents(20, rng, vocab=list(VOCAB))
+        index = I3Index(UNIT_SQUARE, page_size=256)
+        durable = DurableIndex.create(str(tmp_path / "store"), index)
+        durable.bulk_load(docs)
+        durable.checkpoint()
+        try:
+            for cycle in range(4):
+                with SnapshotProcessPool(
+                    durable._snapshot_path, workers=1
+                ) as pool:
+                    pool.follow(durable)
+                    assert len(durable._checkpoint_listeners) == 1
+                assert durable._checkpoint_listeners == [], (
+                    f"listener leaked after close cycle {cycle}"
+                )
+            # Checkpointing after every pool is gone must not call into
+            # any retired pool.
+            durable.checkpoint()
+        finally:
+            durable.close()

@@ -1,0 +1,185 @@
+"""Property tests for the scatter deadline-slice arithmetic.
+
+The cluster deadline is sliced across shard attempts by the pure
+functions :func:`repro.cluster.attempt_budget` /
+:func:`repro.cluster.slice_remaining` — the seam the ``stuck-scatter``
+canary sabotages.  Three properties make a stall impossible by
+construction: a non-expired slice is always positive, the slices any
+walk consumes can never sum past the deadline, and once expired a
+slice stays expired at every later time.  The integration test closes
+the loop end to end: a cluster whose every replica is scripted to
+stall (via :class:`repro.net.sim.SimShardChannel` ``delay`` faults)
+must return a *degraded* answer within the deadline on virtual time —
+never hang.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterService,
+    HashPartitioner,
+    attempt_budget,
+    slice_remaining,
+)
+from repro.model.document import SpatialDocument
+from repro.model.query import Semantics, TopKQuery
+from repro.net.sim import SimShardChannel
+from repro.service import ServiceConfig
+from repro.simtest import SimClock, SimScheduler
+from repro.spatial.geometry import UNIT_SQUARE
+
+finite_times = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+deadlines = st.floats(
+    min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+timeouts = st.one_of(
+    st.none(),
+    st.floats(
+        min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestAttemptBudgetProperties:
+    @given(start=finite_times, deadline=deadlines, attempt_timeout=timeouts)
+    def test_non_expired_slice_is_positive_and_capped(
+        self, start, deadline, attempt_timeout
+    ):
+        deadline_at = start + deadline
+        expired, timeout = attempt_budget(deadline_at, start, attempt_timeout)
+        assert not expired
+        assert timeout > 0
+        assert timeout <= slice_remaining(deadline_at, start)
+        if attempt_timeout is not None:
+            assert timeout <= attempt_timeout
+
+    @given(
+        start=finite_times,
+        deadline=deadlines,
+        attempt_timeout=timeouts,
+        fractions=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30
+        ),
+    )
+    def test_consumed_slices_never_sum_past_the_deadline(
+        self, start, deadline, attempt_timeout, fractions
+    ):
+        """Walk a query through attempts, each consuming any portion of
+        its granted slice: the total consumed can never exceed the
+        deadline, and the walk always terminates in expiry or
+        exhaustion — a stall is unrepresentable."""
+        deadline_at = start + deadline
+        now = start
+        consumed = 0.0
+        for fraction in fractions:
+            expired, timeout = attempt_budget(
+                deadline_at, now, attempt_timeout
+            )
+            if expired:
+                assert timeout == 0.0
+                break
+            spend = timeout * fraction
+            consumed += spend
+            now += spend
+        assert consumed <= deadline * (1 + 1e-9) + 1e-12
+
+    @given(
+        start=finite_times,
+        deadline=deadlines,
+        attempt_timeout=timeouts,
+        later=st.floats(
+            min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+    )
+    def test_expiry_is_monotone(self, start, deadline, attempt_timeout, later):
+        deadline_at = start + deadline
+        probe = deadline_at + 1e-9 * max(1.0, abs(deadline_at))
+        expired, timeout = attempt_budget(deadline_at, probe, attempt_timeout)
+        assert expired and timeout == 0.0
+        still_expired, _ = attempt_budget(
+            deadline_at, probe + later, attempt_timeout
+        )
+        assert still_expired
+
+    @given(now=finite_times, attempt_timeout=timeouts)
+    def test_no_deadline_means_unbounded(self, now, attempt_timeout):
+        assert slice_remaining(None, now) is None
+        expired, timeout = attempt_budget(None, now, attempt_timeout)
+        assert not expired
+        assert timeout == attempt_timeout
+
+
+def _stalling_cluster(deadline, attempt_timeout):
+    """A 2-shard, 2-replica cluster on virtual time whose every replica
+    read goes through a scripted chaos channel."""
+    clock = SimClock()
+    sched = SimScheduler(seed=0, clock=clock)
+    channel = SimShardChannel(clock)
+    docs = [
+        SpatialDocument(i, (i % 10) / 10.0, (i // 10) / 10.0, {"pizza": 0.5})
+        for i in range(40)
+    ]
+    cluster = ClusterService.build(
+        docs,
+        HashPartitioner(2, UNIT_SQUARE),
+        ClusterConfig(
+            replicas=2,
+            scatter_width=2,
+            retry_rounds=1,
+            backoff=0.001,
+            deadline=deadline,
+            attempt_timeout=attempt_timeout,
+            cache_capacity=0,
+            shard_config=ServiceConfig(workers=2, metrics_seed=0),
+            metrics_seed=0,
+        ),
+        clock=clock,
+        executor=sched,
+        channel=channel,
+    )
+    return clock, channel, cluster
+
+
+class TestStalledScatterDegrades:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        deadline=st.floats(min_value=0.5, max_value=20.0),
+        attempt_timeout=st.one_of(
+            st.none(), st.floats(min_value=0.05, max_value=5.0)
+        ),
+    )
+    def test_all_replicas_stalling_degrades_within_deadline(
+        self, deadline, attempt_timeout
+    ):
+        """Every attempt against every replica burns its whole slice and
+        fails: the exhausted budget must surface as ``degraded`` within
+        the deadline on virtual time, never as a hang."""
+        clock, channel, cluster = _stalling_cluster(deadline, attempt_timeout)
+        try:
+            channel.set_plan(
+                {
+                    f"{sid}:{rid}": ["delay"] * 8
+                    for sid in range(2)
+                    for rid in range(2)
+                }
+            )
+            query = TopKQuery(0.5, 0.5, ("pizza",), k=5, semantics=Semantics.OR)
+            started = clock()
+            answer = cluster.search(query)
+            elapsed = clock() - started
+            assert answer.degraded
+            assert set(answer.failed_shards) == {0, 1}
+            assert answer.results == []
+            assert elapsed <= deadline + 1e-6
+            assert math.isfinite(elapsed)
+        finally:
+            channel.clear_plan()
+            cluster.close()

@@ -181,6 +181,58 @@ class TestHarnessDeterminism:
         assert modes == {"single", "cluster"}
 
 
+class TestChaosWorkload:
+    """Shard-fault chaos steps: generated, self-contained, and actually
+    exercising both degraded and fault-absorbed scatter outcomes."""
+
+    def test_cluster_traces_contain_chaos_steps(self):
+        steps = [
+            step
+            for seed in range(10)
+            for step in generate_trace(seed, mode="cluster")["steps"]
+            if step["op"] == "chaos_search"
+        ]
+        assert len(steps) >= 10
+        # Every plan is self-contained plain JSON: scripts keyed by
+        # "<shard>:<replica>" with a known fault vocabulary, plus an
+        # optional partitioned shard group.
+        from repro.net.sim import SHARD_FAULTS
+
+        saw_partition = saw_script = False
+        for step in steps:
+            plan = step["plan"]
+            for key, script in plan["scripts"].items():
+                shard, replica = key.split(":")
+                assert shard.isdigit() and replica.isdigit()
+                assert all(fault in SHARD_FAULTS for fault in script)
+                saw_script = True
+            if plan["partition"]:
+                saw_partition = True
+        assert saw_script and saw_partition
+
+    def test_chaos_exercises_both_outcomes(self):
+        """Across a seed batch, some chaos plans must fully fail a shard
+        (degraded answer checked against the restricted model) and some
+        must be absorbed by failover (full-model equality) — otherwise
+        one arm of degraded-correctness is dead code."""
+        from repro.simtest.harness import _Simulation
+
+        degraded = absorbed = 0
+        for seed in range(8):
+            sim = _Simulation(generate_trace(seed, mode="cluster"), None)
+            report = sim.run()
+            assert report.ok, (seed, report.failure)
+            for event in sim.events:
+                if event.get("op") == "chaos_search" and "degraded" in event:
+                    if event["degraded"]:
+                        degraded += 1
+                    else:
+                        absorbed += 1
+                    # scatter-no-hang, restated on the event stream.
+                    assert event["elapsed"] <= 5.0 + 1e-6
+        assert degraded > 0 and absorbed > 0
+
+
 class TestCanaries:
     """The harness must catch every bug it claims to catch — and the
     shrunk repro must replay to the same invariant violation."""
@@ -205,6 +257,15 @@ class TestCanaries:
         # a wrong merged answer at a plain search, or at a rebalance
         # bracket probe (planner-equivalence).
         "lost-shard-route": {"topk-equivalence", "planner-equivalence"},
+        # The degraded flag (and failed-shard ids) are scrubbed off a
+        # partial answer: degraded-correctness convicts the "complete"
+        # answer against the full model at the chaos step itself, or —
+        # because the lying answer is cacheable — topk-equivalence at a
+        # later plain search served the poisoned cache entry.
+        "silent-shard-drop": {"degraded-correctness", "topk-equivalence"},
+        # The deadline slice never expires, so a stalled shard burns
+        # unbounded virtual time past the cluster deadline.
+        "stuck-scatter": {"scatter-no-hang"},
     }
 
     @pytest.mark.parametrize("bug", BUGS)
@@ -233,3 +294,21 @@ class TestCanaries:
         # Without the bug, the shrunk trace is innocent: the failure is
         # the injected defect, not the workload.
         assert run_trace(shrunk).ok
+
+    @pytest.mark.parametrize("bug", ["silent-shard-drop", "stuck-scatter"])
+    def test_chaos_canaries_pinned_seed(self, bug):
+        """The acceptance bar for the chaos canaries, pinned: caught at
+        seed 0, shrunk to <= 3 steps, and replayed byte-identically."""
+        report = run_seed(0, inject_bug=bug)
+        assert report.failure is not None, f"{bug} escaped pinned seed 0"
+        invariant = report.failure.invariant
+        assert invariant in self.EXPECTED_INVARIANT[bug]
+        shrunk = shrink_failure(
+            report.trace, invariant, inject_bug=bug, max_attempts=200
+        )
+        assert len(shrunk["steps"]) <= 3
+        first = run_trace(shrunk, inject_bug=bug)
+        second = run_trace(shrunk, inject_bug=bug)
+        assert first.failure is not None
+        assert first.failure.invariant == invariant
+        assert first.run_hash == second.run_hash

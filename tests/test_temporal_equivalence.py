@@ -141,21 +141,33 @@ class TestSingleNode:
             )
 
 
-def make_partitioner(kind, tdocs):
+def make_partitioner(kind, tdocs, queries=()):
     if kind == "hash":
         return HashPartitioner(3, UNIT_SQUARE)
+    if kind == "workload":
+        # Learned from the suite's own query mix: the planner's leaf ->
+        # shard assignment must stay oracle-identical like any other
+        # partitioner (it IS a SpatialGridPartitioner to every router).
+        from repro.planner import WorkloadModel, WorkloadPartitioner
+
+        model = WorkloadModel.from_queries(
+            [tq.base for tq in queries], UNIT_SQUARE
+        )
+        return WorkloadPartitioner.learn(
+            3, UNIT_SQUARE, [t.doc for t in tdocs], model=model
+        )
     return SpatialGridPartitioner.from_documents(
         4, UNIT_SQUARE, [t.doc for t in tdocs]
     )
 
 
 class TestSharded:
-    @pytest.mark.parametrize("kind", ["hash", "grid"])
+    @pytest.mark.parametrize("kind", ["hash", "grid", "workload"])
     def test_matches_oracle(self, scenario, kind):
         cluster = TemporalCluster.build(
             UNIT_SQUARE,
             scenario["tdocs"],
-            make_partitioner(kind, scenario["tdocs"]),
+            make_partitioner(kind, scenario["tdocs"], scenario["queries"]),
             TemporalConfig(slice_width=SLICE_WIDTH, page_size=512),
         )
         cluster.advance(HORIZON)
